@@ -1,0 +1,33 @@
+"""Benchmark helpers: run one experiment under pytest-benchmark.
+
+Each benchmark file regenerates one table/figure of the paper (see
+DESIGN.md's per-experiment index).  ``bench_experiment`` executes the
+experiment exactly once under the benchmark timer (the experiments are
+deterministic, so repetition only measures the same work again), asserts
+every pass criterion, and prints the rendered table so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's
+numbers on the terminal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def bench_experiment(benchmark, capsys):
+    """Run an experiment function under the benchmark and require success."""
+
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(
+            lambda: fn(*args, **kwargs), rounds=1, iterations=1
+        )
+        result.require()
+        from repro.experiments import render_experiment
+
+        with capsys.disabled():
+            print()
+            print(render_experiment(result))
+        return result
+
+    return _run

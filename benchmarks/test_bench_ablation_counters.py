@@ -1,0 +1,11 @@
+"""E15: Ablation — counting algorithms head-to-head.
+
+Regenerates the corresponding table of DESIGN.md's experiment index and
+asserts the paper's shape criteria.  Run with ``-s`` to print the table.
+"""
+
+from repro.experiments import run_e15_ablation_counters
+
+
+def test_bench_e15(bench_experiment):
+    bench_experiment(run_e15_ablation_counters, n=32, mesh_side=6)

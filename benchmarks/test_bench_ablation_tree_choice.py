@@ -1,0 +1,11 @@
+"""E14: Ablation — arrow's spanning-tree choice.
+
+Regenerates the corresponding table of DESIGN.md's experiment index and
+asserts the paper's shape criteria.  Run with ``-s`` to print the table.
+"""
+
+from repro.experiments import run_e14_ablation_tree_choice
+
+
+def test_bench_e14(bench_experiment):
+    bench_experiment(run_e14_ablation_tree_choice, n=64, mesh_side=8)

@@ -1,0 +1,11 @@
+"""E19: Section 5 open question — distributed addition.
+
+Regenerates the corresponding table of DESIGN.md's experiment index and
+asserts the paper's shape criteria.  Run with ``-s`` to print the table.
+"""
+
+from repro.experiments.suite import run_e19_addition
+
+
+def test_bench_e19(bench_experiment):
+    bench_experiment(run_e19_addition, sizes=(15, 31, 63, 127))

@@ -1,0 +1,11 @@
+"""E17: Extension — asynchronous links (Section 2.1 remark).
+
+Regenerates the corresponding table of DESIGN.md's experiment index and
+asserts the paper's shape criteria.  Run with ``-s`` to print the table.
+"""
+
+from repro.experiments.suite import run_e17_async_robustness
+
+
+def test_bench_e17(bench_experiment):
+    bench_experiment(run_e17_async_robustness, sizes=(8, 16, 32, 64), delay_hi=3)

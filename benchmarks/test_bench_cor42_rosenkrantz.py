@@ -1,0 +1,11 @@
+"""E8: Corollary 4.2 — O(n log n) on constant-degree trees.
+
+Regenerates the corresponding table of DESIGN.md's experiment index and
+asserts the paper's shape criteria.  Run with ``-s`` to print the table.
+"""
+
+from repro.experiments import run_e8_cor42_rosenkrantz
+
+
+def test_bench_e8(bench_experiment):
+    bench_experiment(run_e8_cor42_rosenkrantz, sizes=(15, 63, 255, 1023), seeds=(0, 1, 2, 3, 4))

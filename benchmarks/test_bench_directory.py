@@ -1,0 +1,11 @@
+"""E20: Reference [4] — arrow directory vs token mutex.
+
+Regenerates the corresponding table of DESIGN.md's experiment index and
+asserts the paper's shape criteria.  Run with ``-s`` to print the table.
+"""
+
+from repro.experiments.suite import run_e20_directory
+
+
+def test_bench_e20(bench_experiment):
+    bench_experiment(run_e20_directory, sizes=(16, 32, 64, 128))

@@ -1,0 +1,56 @@
+"""Engine micro-benchmarks: simulator throughput on representative loads.
+
+Unlike the experiment benches (which assert theorem shapes), these time
+the simulator substrate itself — useful for tracking performance
+regressions in the engine's hot paths (link queues, ready heaps,
+arbitration).
+"""
+
+from repro.arrow import run_arrow
+from repro.counting import run_central_counting, run_flood_counting
+from repro.topology import complete_graph, path_graph, star_graph
+from repro.topology.spanning import path_spanning_tree
+
+
+def test_bench_engine_contention_storm(benchmark):
+    """Theta(n^2) serialisation at the star hub (n = 96)."""
+    g = star_graph(96)
+
+    def run():
+        return run_central_counting(g, range(96)).total_delay
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_bench_engine_long_pipeline(benchmark):
+    """A long relay pipeline: central counting across a 256-node path."""
+    g = path_graph(256)
+
+    def run():
+        return run_central_counting(g, range(0, 256, 8)).total_delay
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_bench_engine_arrow_wave(benchmark):
+    """The arrow protocol's concurrent wave on a 512-node path."""
+    st = path_spanning_tree(path_graph(512))
+
+    def run():
+        return run_arrow(st, range(512)).total_delay
+
+    total = benchmark(run)
+    assert total == 511
+
+
+def test_bench_engine_gossip_flood(benchmark):
+    """Dense gossip: flood counting on K_48 (many large payloads)."""
+    g = complete_graph(48)
+
+    def run():
+        return run_flood_counting(g, range(48)).total_delay
+
+    total = benchmark(run)
+    assert total > 0

@@ -1,0 +1,11 @@
+"""E1: Fig. 1 — counting vs queuing semantics.
+
+Regenerates the corresponding table of DESIGN.md's experiment index and
+asserts the paper's shape criteria.  Run with ``-s`` to print the table.
+"""
+
+from repro.experiments import run_e1_fig1_semantics
+
+
+def test_bench_e1(bench_experiment):
+    bench_experiment(run_e1_fig1_semantics)

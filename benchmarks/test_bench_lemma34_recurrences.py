@@ -1,0 +1,11 @@
+"""E3: Lemmas 3.2-3.4 & 4.8 — growth recurrences.
+
+Regenerates the corresponding table of DESIGN.md's experiment index and
+asserts the paper's shape criteria.  Run with ``-s`` to print the table.
+"""
+
+from repro.experiments import run_e3_recurrences
+
+
+def test_bench_e3(bench_experiment):
+    bench_experiment(run_e3_recurrences, t_max=4, k_max=40)

@@ -1,0 +1,11 @@
+"""E6: Lemma 4.3/4.4 — NN-TSP on the list <= 3n.
+
+Regenerates the corresponding table of DESIGN.md's experiment index and
+asserts the paper's shape criteria.  Run with ``-s`` to print the table.
+"""
+
+from repro.experiments import run_e6_lemma43_list_tsp
+
+
+def test_bench_e6(bench_experiment):
+    bench_experiment(run_e6_lemma43_list_tsp, sizes=(16, 64, 256, 1024, 4096))

@@ -1,0 +1,11 @@
+"""E16: Extension — long-lived arrow (Kuhn-Wattenhofer).
+
+Regenerates the corresponding table of DESIGN.md's experiment index and
+asserts the paper's shape criteria.  Run with ``-s`` to print the table.
+"""
+
+from repro.experiments import run_e16_longlived
+
+
+def test_bench_e16(bench_experiment):
+    bench_experiment(run_e16_longlived, n=128, horizons=(1, 16, 64, 256, 1024))

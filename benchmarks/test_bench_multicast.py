@@ -1,0 +1,11 @@
+"""E13: Section 1 — ordered multicast both ways.
+
+Regenerates the corresponding table of DESIGN.md's experiment index and
+asserts the paper's shape criteria.  Run with ``-s`` to print the table.
+"""
+
+from repro.experiments import run_e13_multicast
+
+
+def test_bench_e13(bench_experiment):
+    bench_experiment(run_e13_multicast, mesh_sides=(3, 4, 5), complete_sizes=(8, 16))

@@ -1,0 +1,11 @@
+"""E18: Reference [1] — bitonic vs periodic counting networks.
+
+Regenerates the corresponding table of DESIGN.md's experiment index and
+asserts the paper's shape criteria.  Run with ``-s`` to print the table.
+"""
+
+from repro.experiments.suite import run_e18_network_duel
+
+
+def test_bench_e18(bench_experiment):
+    bench_experiment(run_e18_network_duel, sizes=(8, 16, 32, 64))

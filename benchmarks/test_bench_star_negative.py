@@ -1,0 +1,11 @@
+"""E12: Section 5 — the star: counting is NOT harder.
+
+Regenerates the corresponding table of DESIGN.md's experiment index and
+asserts the paper's shape criteria.  Run with ``-s`` to print the table.
+"""
+
+from repro.experiments import run_e12_star_counterexample
+
+
+def test_bench_e12(bench_experiment):
+    bench_experiment(run_e12_star_counterexample, sizes=(8, 16, 32, 64, 128))

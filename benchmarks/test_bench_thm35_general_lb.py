@@ -1,0 +1,11 @@
+"""E2: Theorem 3.5 — Omega(n log* n) counting lower bound on K_n.
+
+Regenerates the corresponding table of DESIGN.md's experiment index and
+asserts the paper's shape criteria.  Run with ``-s`` to print the table.
+"""
+
+from repro.experiments import run_e2_thm35_general_lower_bound
+
+
+def test_bench_e2(bench_experiment):
+    bench_experiment(run_e2_thm35_general_lower_bound, sizes=(8, 16, 32, 64, 128))

@@ -1,0 +1,11 @@
+"""E4: Theorem 3.6 — Omega(alpha^2) on list and mesh.
+
+Regenerates the corresponding table of DESIGN.md's experiment index and
+asserts the paper's shape criteria.  Run with ``-s`` to print the table.
+"""
+
+from repro.experiments import run_e4_thm36_diameter_lower_bound
+
+
+def test_bench_e4(bench_experiment):
+    bench_experiment(run_e4_thm36_diameter_lower_bound, list_sizes=(16, 32, 64, 128, 256), mesh_sides=(3, 4, 6, 8))

@@ -1,0 +1,11 @@
+"""E10: Theorem 4.12 — perfect m-ary spanning trees.
+
+Regenerates the corresponding table of DESIGN.md's experiment index and
+asserts the paper's shape criteria.  Run with ``-s`` to print the table.
+"""
+
+from repro.experiments import run_e10_thm412_mary
+
+
+def test_bench_e10(bench_experiment):
+    bench_experiment(run_e10_thm412_mary, binary_sizes=(15, 31, 63, 127, 255), ternary_depths=(2, 3, 4))

@@ -1,0 +1,11 @@
+"""E11: Theorem 4.13 — high-diameter graphs.
+
+Regenerates the corresponding table of DESIGN.md's experiment index and
+asserts the paper's shape criteria.  Run with ``-s`` to print the table.
+"""
+
+from repro.experiments import run_e11_thm413_high_diameter
+
+
+def test_bench_e11(bench_experiment):
+    bench_experiment(run_e11_thm413_high_diameter, spines=(8, 16, 32, 64))

@@ -1,0 +1,11 @@
+"""E5: Theorem 4.1 — arrow <= 2 x NN-TSP.
+
+Regenerates the corresponding table of DESIGN.md's experiment index and
+asserts the paper's shape criteria.  Run with ``-s`` to print the table.
+"""
+
+from repro.experiments import run_e5_thm41_arrow_vs_tsp
+
+
+def test_bench_e5(bench_experiment):
+    bench_experiment(run_e5_thm41_arrow_vs_tsp, sizes=(8, 16, 32, 64, 96), seeds=(0, 1, 2, 3, 4, 5))

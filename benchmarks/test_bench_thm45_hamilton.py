@@ -1,0 +1,11 @@
+"""E9: Theorem 4.5 — Hamilton-path graphs: CQ = Theta(n) << CC.
+
+Regenerates the corresponding table of DESIGN.md's experiment index and
+asserts the paper's shape criteria.  Run with ``-s`` to print the table.
+"""
+
+from repro.experiments import run_e9_thm45_hamilton
+
+
+def test_bench_e9(bench_experiment):
+    bench_experiment(run_e9_thm45_hamilton, complete_sizes=(8, 16, 32, 64, 128), mesh_sides=(3, 4, 6, 8), hypercube_dims=(3, 4, 5, 6, 7))

@@ -1,0 +1,11 @@
+"""E7: Theorem 4.7 — NN-TSP on perfect trees is O(n).
+
+Regenerates the corresponding table of DESIGN.md's experiment index and
+asserts the paper's shape criteria.  Run with ``-s`` to print the table.
+"""
+
+from repro.experiments import run_e7_thm47_tree_tsp
+
+
+def test_bench_e7(bench_experiment):
+    bench_experiment(run_e7_thm47_tree_tsp, depths=(3, 4, 5, 6, 7, 8, 9, 10), mary_depths=(2, 3, 4, 5))

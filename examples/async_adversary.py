@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The asynchronous model: protocols under link-delay adversaries.
+
+Section 2.1 of the paper notes its lower bounds carry over to the
+asynchronous model.  This example runs the arrow protocol and a
+combining-tree counter under three adversaries — uniform random delays,
+a slowed cut of links, and a kind-targeted adversary that only slows
+arrow traffic — and shows that (a) every output is still valid and
+(b) the counting-vs-queuing separation survives.
+"""
+
+from repro import (
+    ConstantDelay,
+    TargetedDelay,
+    UniformDelay,
+    complete_graph,
+    embedded_binary_tree,
+    path_spanning_tree,
+    run_arrow,
+    run_combining_counting,
+)
+from repro.sim import KindDelay
+
+
+def main() -> None:
+    n = 32
+    g = complete_graph(n)
+    arrow_tree = path_spanning_tree(g)
+    count_tree = embedded_binary_tree(g)
+    requests = list(range(n))
+
+    # A cut through the middle of the Hamilton path, slowed 5x.
+    cut = frozenset({(n // 2 - 1, n // 2), (n // 2, n // 2 - 1)})
+
+    adversaries = {
+        "synchronous (unit delays)": ConstantDelay(1),
+        "uniform delays in [1, 4]": UniformDelay(1, 4, seed=7),
+        "slow cut (5x on 1 edge)": TargetedDelay(cut, slow=5),
+        "queue traffic slowed 3x": KindDelay((("queue", 3),), default=1),
+    }
+
+    print(f"{g.name}, all {n} nodes request; totals under each adversary:\n")
+    print(f"{'adversary':<28} {'arrow':>8} {'counting':>10} {'ratio':>7}")
+    for label, model in adversaries.items():
+        arrow = run_arrow(arrow_tree, requests, delay_model=model)
+        counting = run_combining_counting(count_tree, requests, delay_model=model)
+        ratio = counting.total_delay / max(1, arrow.total_delay)
+        print(
+            f"{label:<28} {arrow.total_delay:>8} "
+            f"{counting.total_delay:>10} {ratio:>6.1f}x"
+        )
+    print(
+        "\nEvery run re-validated its output (exact ranks / one predecessor"
+        "\nchain); counting stays harder under every adversary."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Totally ordered multicast, built both ways (the paper's Section 1).
+
+A group of nodes on a mesh multicasts messages that every node must
+deliver in the same order.  The conventional solution sequences messages
+with a distributed counter; Herlihy et al.'s alternative uses
+distributed queuing and reconstructs the order from predecessor links.
+This example runs both on identical inputs, verifies the delivery
+sequences agree at every receiver, and shows the queuing flavour's
+coordination phase is cheaper — the paper's motivating prediction.
+"""
+
+from repro import mesh_graph, run_counting_multicast, run_queuing_multicast
+from repro.topology.spanning import path_spanning_tree
+
+
+def main() -> None:
+    for side in (3, 4, 5, 6):
+        g = mesh_graph([side, side])
+        st = path_spanning_tree(g)  # boustrophedon Hamilton path of the mesh
+        senders = list(range(g.n))
+
+        counting = run_counting_multicast(g, st, senders)
+        queuing = run_queuing_multicast(g, st, senders)
+
+        print(f"{g.name}: {len(senders)} senders")
+        print(
+            f"  counting-based: coordination total={counting.total_coordination_delay:>5}, "
+            f"all delivered by round {counting.completion_time}"
+        )
+        print(
+            f"  queuing-based : coordination total={queuing.total_coordination_delay:>5}, "
+            f"all delivered by round {queuing.completion_time}"
+        )
+        speedup = (
+            counting.total_coordination_delay / queuing.total_coordination_delay
+        )
+        print(f"  queuing coordination is {speedup:.1f}x cheaper")
+        # Delivery-order consistency across receivers is verified inside the
+        # runners; here we just show the common order exists.
+        print(f"  common delivery order starts: {queuing.delivery_order[:6]}...\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Dependency-free ASCII charts for terminal reports."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """A one-line intensity strip for a numeric series.
+
+    Values are min-max normalised onto a ten-level character ramp; an
+    optional ``width`` resamples the series by averaging buckets.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if width is not None and width > 0 and len(vals) > width:
+        bucket = len(vals) / width
+        vals = [
+            sum(vals[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            / max(1, len(vals[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARK_LEVELS[1] * len(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        idx = 1 + int((v - lo) / span * (len(_SPARK_LEVELS) - 2))
+        out.append(_SPARK_LEVELS[min(idx, len(_SPARK_LEVELS) - 1)])
+    return "".join(out)
+
+
+def ascii_bars(
+    rows: Sequence[tuple[str, float]] | Mapping[str, float],
+    width: int = 40,
+    fill: str = "#",
+) -> str:
+    """Horizontal bar chart: one ``label  bar  value`` line per row.
+
+    Bars are scaled to the maximum value; zero/negative values render as
+    empty bars.
+    """
+    items = list(rows.items()) if isinstance(rows, Mapping) else list(rows)
+    if not items:
+        return "(no data)"
+    label_w = max(len(str(k)) for k, _ in items)
+    peak = max((v for _, v in items if v > 0), default=0)
+    lines = []
+    for label, value in items:
+        bar = fill * int(round(width * value / peak)) if peak > 0 and value > 0 else ""
+        val = f"{value:g}" if isinstance(value, float) else str(value)
+        lines.append(f"{str(label):>{label_w}}  {bar:<{width}}  {val}")
+    return "\n".join(lines)

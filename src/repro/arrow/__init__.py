@@ -1,0 +1,30 @@
+"""The arrow distributed queuing protocol (Raymond 1989; Demmer & Herlihy 1998).
+
+The protocol the paper's upper bounds are about (Section 4): every node
+keeps an *arrow* ``link(v)`` pointing along a spanning tree toward the
+current queue tail; a queuing request travels along the arrows, flipping
+each one to point back the way it came, until it reaches a node whose
+arrow points at itself — the operation parked there is the request's
+predecessor in the distributed total order.
+
+:func:`run_arrow` executes the one-shot concurrent scenario of the paper
+on the synchronous simulator and reports per-operation delays, the
+induced total order, and the paper's total-delay cost.
+"""
+
+from repro.arrow.protocol import ArrowNode, init_op, op_of
+from repro.arrow.runner import ArrowResult, run_arrow
+from repro.arrow.analysis import arrow_vs_tsp, ArrowTspComparison
+from repro.arrow.longlived import LongLivedResult, run_arrow_longlived
+
+__all__ = [
+    "ArrowNode",
+    "init_op",
+    "op_of",
+    "ArrowResult",
+    "run_arrow",
+    "arrow_vs_tsp",
+    "ArrowTspComparison",
+    "LongLivedResult",
+    "run_arrow_longlived",
+]

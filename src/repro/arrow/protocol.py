@@ -1,0 +1,92 @@
+"""The arrow node state machine.
+
+State per node ``v`` (Section 4 of the paper):
+
+* ``link``: the arrow — a tree neighbor of ``v``, or ``v`` itself when the
+  queue tail is parked here;
+* ``parked``: the identifier of the operation currently queued at ``v``
+  (the paper's ``id(v)``); meaningful as the queue tail exactly when
+  ``link == v``.
+
+Rules (path reversal):
+
+* *Issue* ``a`` at ``v``: remember ``w = link``; set ``link = v`` and
+  ``parked = a``; if ``w == v`` the previous parked operation is ``a``'s
+  predecessor (complete immediately), otherwise send ``queue(a)`` to ``w``.
+* *Receive* ``queue(a)`` from ``y`` at ``v``: remember ``w = link``; set
+  ``link = y``; if ``w == v`` then ``a``'s predecessor is ``parked``
+  (complete, and park ``a`` here), otherwise forward ``queue(a)`` to ``w``.
+
+Several ``queue()`` messages arriving at a node in the same round are
+processed sequentially within the round in deterministic order — the
+paper's "expanded time step" convention for constant-degree trees.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.sim import Message, Node, NodeContext
+
+
+def init_op(tail: int) -> tuple[str, int]:
+    """The dummy operation parked at the initial tail node ``tail``."""
+    return ("init", tail)
+
+
+def op_of(v: int) -> tuple[str, int]:
+    """The identifier of the queuing operation issued by node ``v``."""
+    return ("op", v)
+
+
+class ArrowNode(Node):
+    """One node of the arrow protocol.
+
+    Args:
+        node_id: this vertex.
+        link: initial arrow (tree parent toward the tail; the tail points
+            at itself).
+        requesting: whether this node issues a queuing operation at time 0.
+        record_successors: kept so the runner can reconstruct the total
+            order without scanning messages.
+    """
+
+    __slots__ = ("link", "parked", "requesting", "pred_found")
+
+    def __init__(self, node_id: int, link: int, requesting: bool) -> None:
+        super().__init__(node_id)
+        self.link = link
+        self.parked: Hashable = init_op(node_id) if link == node_id else None
+        self.requesting = requesting
+        #: predecessor assignments discovered at this node: op -> pred op
+        self.pred_found: dict[Hashable, Hashable] = {}
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if not self.requesting:
+            return
+        a = op_of(self.node_id)
+        w = self.link
+        self.link = self.node_id
+        if w == self.node_id:
+            pred = self.parked
+            self.parked = a
+            self.pred_found[a] = pred
+            ctx.complete(a, result=pred)
+        else:
+            self.parked = a
+            ctx.send(w, "queue", payload=a)
+
+    def on_receive(self, msg: Message, ctx: NodeContext) -> None:
+        if msg.kind != "queue":  # pragma: no cover - defensive
+            raise ValueError(f"arrow node got unexpected message {msg.kind!r}")
+        a = msg.payload
+        y = msg.src
+        w = self.link
+        self.link = y
+        if w == self.node_id:
+            pred = self.parked
+            self.parked = a
+            self.pred_found[a] = pred
+            ctx.complete(a, result=pred)
+        else:
+            ctx.send(w, "queue", payload=a)

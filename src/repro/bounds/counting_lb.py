@@ -1,0 +1,155 @@
+"""Lower bounds on concurrent counting (Section 3), evaluated exactly.
+
+These are bounds on *every* counting algorithm, so they cannot be
+measured; instead the experiments evaluate them exactly and assert that
+every implemented counting algorithm's measured total delay dominates
+them.
+
+* Theorem 3.5 (any graph): a processor outputting count ``k`` has latency
+  at least the smallest ``t`` with ``tow(2t) >= k``; summing over the
+  processors with counts ``>= n/2`` gives ``Omega(n log* n)``.
+* Theorem 3.6 (diameter ``alpha``): the processor receiving count ``k``
+  with ``k > n - alpha/2`` has latency ``>= alpha/2 + k - n``; summing
+  gives ``Omega(alpha^2)``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.bounds.towers import TOW_MAX_EXACT, log_star, tow
+
+
+def min_latency_for_count(k: int) -> int:
+    """Lemma 3.1 + 3.4: the least ``t`` such that ``tow(2t) >= k``.
+
+    A processor that outputs count ``k`` must have been influenced by at
+    least ``k`` processors, and influence spreads no faster than
+    ``a(t) <= tow(2t)``.
+
+    Raises:
+        ValueError: for ``k < 1``.
+    """
+    if k < 1:
+        raise ValueError(f"count must be >= 1, got {k}")
+    t = 0
+    while 2 * t <= TOW_MAX_EXACT and tow(2 * t) < k:
+        t += 1
+    return t
+
+
+def theorem35_lower_bound(n: int, requesters: int | None = None) -> int:
+    """Theorem 3.5's exact sum: total-delay lower bound on any graph.
+
+    With ``r`` requesters (default: all ``n`` nodes counting), counts
+    ``1..r`` are all handed out; the processor with count ``k`` has
+    latency at least :func:`min_latency_for_count`.  Returns the exact
+    integer sum — the quantity that is ``Omega(n log* n)``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    r = n if requesters is None else requesters
+    if not (0 <= r <= n):
+        raise ValueError(f"requesters must be in [0, {n}], got {r}")
+    total = 0
+    k = 1
+    t = 0
+    # Latency jumps only at tow(2t) boundaries: counts in
+    # (tow(2t), tow(2t+2)] need latency t+1.  Sum in O(log* r) blocks.
+    while k <= r:
+        while 2 * t <= TOW_MAX_EXACT and tow(2 * t) < k:
+            t += 1
+        # All counts k' with tow(2(t-1)) < k' <= tow(2t) share latency t.
+        hi = tow(2 * t) if 2 * t <= TOW_MAX_EXACT else r
+        hi = min(hi, r)
+        total += t * (hi - k + 1)
+        k = hi + 1
+    return total
+
+
+def theorem35_paper_form(n: int) -> Fraction:
+    """The form stated in the proof: ``sum over counts k >= n/2 of log*(k)/2``.
+
+    Kept alongside :func:`theorem35_lower_bound` because the proof sums
+    only over the top half of counts; this is the expression the
+    experiment tables print next to measured delays.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    total = Fraction(0)
+    for k in range(max(1, n // 2), n + 1):
+        total += Fraction(log_star(k), 2)
+    return total
+
+
+def theorem36_lower_bound(alpha: int) -> int:
+    """Theorem 3.6's exact sum for a graph of diameter ``alpha``.
+
+    Summing the latencies ``1, 2, ..., floor(alpha/2)`` of the highest
+    counts gives ``m(m+1)/2`` with ``m = floor(alpha/2)`` — the quantity
+    that is ``Omega(alpha^2)``.
+    """
+    if alpha < 0:
+        raise ValueError(f"diameter must be >= 0, got {alpha}")
+    m = alpha // 2
+    return m * (m + 1) // 2
+
+
+def per_op_general_bound(count: int) -> int:
+    """Lemma 3.1 + 3.4 per-operation bound: the op that outputs ``count``
+    needs latency at least ``min t: tow(2t) >= count``.
+
+    This is the fine-grained form behind Theorem 3.5; the test suite
+    checks every implemented counting algorithm's *individual* delays
+    against it.
+    """
+    return min_latency_for_count(count)
+
+
+def per_op_diameter_bound(count: int, n: int, alpha: int) -> int:
+    """Theorem 3.6's per-operation bound (all ``n`` nodes counting).
+
+    The proof shows the op receiving count ``k > n - alpha/2`` has latency
+    at least ``alpha/2 + k - n``; for smaller counts the bound is 0.
+    """
+    if count < 1 or count > n:
+        raise ValueError(f"count must be in [1, {n}], got {count}")
+    return max(0, alpha // 2 + count - n)
+
+
+def verify_per_op_bounds(
+    counts: "dict[int, int]",
+    delays: "dict[int, int]",
+    n: int,
+    alpha: int,
+    all_counting: bool,
+) -> bool:
+    """Whether every operation's delay dominates both per-op bounds.
+
+    Args:
+        counts: vertex -> rank received.
+        delays: vertex -> measured delay.
+        n: number of vertices in the graph.
+        alpha: graph diameter.
+        all_counting: whether every vertex requested (Theorem 3.6's
+            hypothesis; its bound is skipped otherwise).
+    """
+    for v, k in counts.items():
+        need = per_op_general_bound(k)
+        if all_counting:
+            need = max(need, per_op_diameter_bound(k, n, alpha))
+        if delays[v] < need:
+            return False
+    return True
+
+
+def counting_lower_bound(n: int, alpha: int, requesters: int | None = None) -> int:
+    """The better of the two lower bounds for an ``n``-vertex, diameter-``alpha`` graph.
+
+    Theorem 3.6 requires all nodes counting; it is only applied when
+    ``requesters`` is ``None`` or equals ``n``.
+    """
+    general = theorem35_lower_bound(n, requesters)
+    if requesters is None or requesters == n:
+        return max(general, theorem36_lower_bound(alpha))
+    return general

@@ -1,0 +1,80 @@
+"""The paper's growth recurrences, evaluated exactly.
+
+* Lemmas 3.2/3.3: the "processors affecting / affected by" quantities obey
+  ``a(t+1) <= a(t) + a(t)^2 b(t)`` and ``b(t+1) <= b(t)(1 + 2 a(t))`` with
+  ``a(0) = b(0) = 1``.  Lemma 3.4 shows both stay below ``tow(2t)``.
+  :func:`ab_trajectory` iterates the recurrences at equality — the fastest
+  growth the model permits — and :func:`verify_ab_tower_bound` checks the
+  tower bound on that worst case.
+
+* Section 4.2: ``f(0) = 0, f(k) = 2 f(k-1) + 2k`` with Lemma 4.8's bound
+  ``f(k) < 2^(k+2)``.
+"""
+
+from __future__ import annotations
+
+from repro.bounds.towers import TOW_MAX_EXACT, tow
+
+
+def ab_trajectory(t_max: int) -> tuple[list[int], list[int]]:
+    """Iterate the Lemma 3.2/3.3 recurrences at equality.
+
+    Returns ``(a, b)`` with ``a[t]``/``b[t]`` for ``t = 0..t_max``.  The
+    values grow as a tower, so ``t_max`` above ~5 is rejected.
+
+    Raises:
+        ValueError: if the trajectory would exceed representable sizes.
+    """
+    if t_max < 0:
+        raise ValueError(f"t_max must be >= 0, got {t_max}")
+    if t_max > 5:
+        raise ValueError("a(t)/b(t) exceed representable sizes beyond t=5")
+    a = [1]
+    b = [1]
+    for t in range(t_max):
+        at, bt = a[t], b[t]
+        a.append(at + at * at * bt)
+        b.append(bt * (1 + 2 * at))
+    return a, b
+
+
+def verify_ab_tower_bound(t_max: int = 4) -> bool:
+    """Check Lemma 3.4: ``a(t) <= tow(2t)`` and ``b(t) <= tow(2t)``.
+
+    Evaluated on the equality trajectory for ``t = 0..t_max`` (``t_max``
+    capped so the towers stay representable).
+    """
+    t_max = min(t_max, TOW_MAX_EXACT // 2 + 1, 4)
+    a, b = ab_trajectory(t_max)
+    for t in range(t_max + 1):
+        if t == 0:
+            # tow(0) = 1 = a(0) = b(0)
+            if a[0] > 1 or b[0] > 1:
+                return False
+            continue
+        bound = tow(min(2 * t, TOW_MAX_EXACT))
+        if 2 * t > TOW_MAX_EXACT:
+            continue  # bound astronomically large; trivially satisfied
+        if a[t] > bound or b[t] > bound:
+            return False
+    return True
+
+
+def f_recurrence(k: int) -> int:
+    """Section 4.2's ``f``: ``f(0) = 0``, ``f(k) = 2 f(k-1) + 2k``."""
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    value = 0
+    for i in range(1, k + 1):
+        value = 2 * value + 2 * i
+    return value
+
+
+def verify_f_bound(k_max: int) -> bool:
+    """Check Lemma 4.8: ``f(k) < 2^(k+2)`` for ``k = 1..k_max``."""
+    value = 0
+    for k in range(1, k_max + 1):
+        value = 2 * value + 2 * k
+        if value >= 1 << (k + 2):
+            return False
+    return True

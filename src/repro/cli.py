@@ -1,0 +1,226 @@
+"""Command-line interface: run experiments and protocols from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run E9
+    python -m repro run E4 --scale bench
+    python -m repro run all --scale test
+    python -m repro arrow --graph complete --n 32
+    python -m repro count --graph mesh --n 36 --algorithm combining
+
+``run`` executes experiments from the suite (test-scale defaults or the
+larger ``--scale bench`` parameterisations) and prints the regenerated
+tables; ``arrow``/``count`` run a single protocol and print its delays —
+handy for quick exploration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import ALL_EXPERIMENTS, render_experiment
+
+
+def _bench_scale() -> dict[str, Callable]:
+    """Larger parameterisations, mirroring the benchmark suite."""
+    from repro.experiments.suite import (
+        run_e2_thm35_general_lower_bound,
+        run_e4_thm36_diameter_lower_bound,
+        run_e5_thm41_arrow_vs_tsp,
+        run_e6_lemma43_list_tsp,
+        run_e7_thm47_tree_tsp,
+        run_e9_thm45_hamilton,
+        run_e10_thm412_mary,
+        run_e12_star_counterexample,
+        run_e16_longlived,
+        run_e17_async_robustness,
+        run_e18_network_duel,
+        run_e19_addition,
+        run_e20_directory,
+    )
+
+    return {
+        "E2": lambda: run_e2_thm35_general_lower_bound(sizes=(8, 16, 32, 64, 128)),
+        "E4": lambda: run_e4_thm36_diameter_lower_bound(
+            list_sizes=(16, 32, 64, 128, 256), mesh_sides=(3, 4, 6, 8)
+        ),
+        "E5": lambda: run_e5_thm41_arrow_vs_tsp(
+            sizes=(8, 16, 32, 64, 96), seeds=(0, 1, 2, 3, 4, 5)
+        ),
+        "E6": lambda: run_e6_lemma43_list_tsp(sizes=(16, 64, 256, 1024, 4096)),
+        "E7": lambda: run_e7_thm47_tree_tsp(
+            depths=(3, 4, 5, 6, 7, 8, 9, 10), mary_depths=(2, 3, 4, 5)
+        ),
+        "E9": lambda: run_e9_thm45_hamilton(
+            complete_sizes=(8, 16, 32, 64, 128),
+            mesh_sides=(3, 4, 6, 8),
+            hypercube_dims=(3, 4, 5, 6, 7),
+        ),
+        "E10": lambda: run_e10_thm412_mary(
+            binary_sizes=(15, 31, 63, 127, 255), ternary_depths=(2, 3, 4)
+        ),
+        "E12": lambda: run_e12_star_counterexample(sizes=(8, 16, 32, 64, 128)),
+        "E16": lambda: run_e16_longlived(n=128, horizons=(1, 16, 64, 256, 1024)),
+        "E17": lambda: run_e17_async_robustness(sizes=(8, 16, 32, 64)),
+        "E18": lambda: run_e18_network_duel(sizes=(8, 16, 32, 64)),
+        "E19": lambda: run_e19_addition(sizes=(15, 31, 63, 127)),
+        "E20": lambda: run_e20_directory(sizes=(16, 32, 64, 128)),
+    }
+
+
+def _build_graph(name: str, n: int):
+    from repro import (
+        complete_graph,
+        hypercube_graph,
+        mesh_graph,
+        path_graph,
+        star_graph,
+    )
+
+    if name == "complete":
+        return complete_graph(n)
+    if name == "path":
+        return path_graph(n)
+    if name == "star":
+        return star_graph(n)
+    if name == "mesh":
+        side = max(2, round(n**0.5))
+        return mesh_graph([side, side])
+    if name == "hypercube":
+        d = max(1, n.bit_length() - 1)
+        return hypercube_graph(d)
+    raise SystemExit(f"unknown graph family {name!r}")
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    for exp_id in sorted(ALL_EXPERIMENTS, key=lambda e: int(e[1:])):
+        result_fn = ALL_EXPERIMENTS[exp_id]
+        doc = (result_fn.__doc__ or "").strip().splitlines()[0]
+        print(f"{exp_id:>4}  {doc}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    targets = (
+        sorted(ALL_EXPERIMENTS, key=lambda e: int(e[1:]))
+        if args.experiment.lower() == "all"
+        else [args.experiment.upper()]
+    )
+    bench = _bench_scale() if args.scale == "bench" else {}
+    failures = 0
+    for exp_id in targets:
+        if exp_id not in ALL_EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {exp_id!r}; try `python -m repro list`"
+            )
+        fn = bench.get(exp_id, ALL_EXPERIMENTS[exp_id])
+        t0 = time.time()
+        result = fn()
+        print(render_experiment(result))
+        print(f"({time.time() - t0:.1f}s)\n")
+        if not result.passed:
+            failures += 1
+    return 1 if failures else 0
+
+
+def cmd_arrow(args: argparse.Namespace) -> int:
+    from repro import run_arrow
+    from repro.topology.spanning import bfs_spanning_tree, path_spanning_tree
+
+    g = _build_graph(args.graph, args.n)
+    try:
+        st = path_spanning_tree(g)
+    except Exception:
+        st = bfs_spanning_tree(g)
+    res = run_arrow(st, range(g.n))
+    print(f"{g.name}: arrow on {st.label} tree")
+    print(f"  total delay : {res.total_delay}")
+    print(f"  max delay   : {res.max_delay}")
+    print(f"  order       : {res.order()[:12]}{'...' if g.n > 12 else ''}")
+    return 0
+
+
+def cmd_count(args: argparse.Namespace) -> int:
+    from repro import (
+        run_central_counting,
+        run_combining_counting,
+        run_counting_network,
+        run_flood_counting,
+    )
+    from repro.counting import run_periodic_counting
+    from repro.topology.spanning import bfs_spanning_tree
+
+    g = _build_graph(args.graph, args.n)
+    if args.algorithm == "combining":
+        res = run_combining_counting(bfs_spanning_tree(g), range(g.n))
+    elif args.algorithm == "central":
+        res = run_central_counting(g, range(g.n))
+    elif args.algorithm == "flood":
+        res = run_flood_counting(g, range(g.n))
+    elif args.algorithm == "cnet":
+        res = run_counting_network(g, range(g.n))
+    elif args.algorithm == "periodic":
+        res = run_periodic_counting(g, range(g.n))
+    else:
+        raise SystemExit(f"unknown algorithm {args.algorithm!r}")
+    print(f"{g.name}: {res.algorithm}")
+    print(f"  total delay : {res.total_delay}")
+    print(f"  max delay   : {res.max_delay}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of 'Concurrent counting is harder than queuing'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the experiment suite").set_defaults(
+        func=cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id, e.g. E9, or 'all'")
+    run.add_argument(
+        "--scale", choices=("test", "bench"), default="test",
+        help="parameter scale (default: test)",
+    )
+    run.set_defaults(func=cmd_run)
+
+    arrow = sub.add_parser("arrow", help="run the arrow protocol once")
+    arrow.add_argument("--graph", default="complete",
+                       choices=("complete", "path", "star", "mesh", "hypercube"))
+    arrow.add_argument("--n", type=int, default=32)
+    arrow.set_defaults(func=cmd_arrow)
+
+    count = sub.add_parser("count", help="run one counting algorithm once")
+    count.add_argument("--graph", default="complete",
+                       choices=("complete", "path", "star", "mesh", "hypercube"))
+    count.add_argument("--n", type=int, default=32)
+    count.add_argument("--algorithm", default="combining",
+                       choices=("combining", "central", "flood", "cnet", "periodic"))
+    count.set_defaults(func=cmd_count)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) went away; not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Problem definitions, request-set scenarios, verification, comparison.
+
+The paper's two problems (Section 2.2):
+
+* **counting** — requesters receive the exact ranks ``1..|R|``;
+* **queuing** — requesters receive their predecessor's identity, forming
+  a single chain over R.
+
+This package defines the result types all algorithm runners return, the
+validators that every run is checked against, the adversarial request-set
+generators, and the counting-vs-queuing comparison harness that produces
+the paper's headline tables.
+"""
+
+from repro.core.problem import CountingResult, QueuingResult
+from repro.core.request import (
+    RequestScenario,
+    all_nodes,
+    random_subset,
+    far_half,
+    alternating,
+    single_node,
+    scenario_suite,
+)
+from repro.core.verify import (
+    VerificationError,
+    verify_counting,
+    verify_queuing,
+    verify_total_order_consistency,
+)
+from repro.core.adversary import AdversarySearchResult, adversarial_search
+from repro.core.comparison import ComparisonRow, compare_on_graph, growth_exponent
+
+__all__ = [
+    "CountingResult",
+    "QueuingResult",
+    "RequestScenario",
+    "all_nodes",
+    "random_subset",
+    "far_half",
+    "alternating",
+    "single_node",
+    "scenario_suite",
+    "VerificationError",
+    "verify_counting",
+    "verify_queuing",
+    "verify_total_order_consistency",
+    "ComparisonRow",
+    "compare_on_graph",
+    "growth_exponent",
+    "AdversarySearchResult",
+    "adversarial_search",
+]

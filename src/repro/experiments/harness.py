@@ -1,0 +1,80 @@
+"""Experiment result containers and pass-criteria records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class Check:
+    """One pass criterion of an experiment.
+
+    Attributes:
+        name: short criterion label, e.g. ``"counting >= Thm3.5 bound"``.
+        passed: whether the criterion held on this run.
+        detail: the concrete numbers behind the verdict.
+    """
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}" + (f" — {self.detail}" if self.detail else "")
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced.
+
+    Attributes:
+        exp_id: DESIGN.md experiment id, e.g. ``"E4"``.
+        title: one-line description.
+        paper_ref: the theorem/lemma/figure reproduced.
+        rows: the regenerated table (list of column->value mappings).
+        checks: pass criteria with verdicts.
+        notes: free-form commentary rendered under the table.
+    """
+
+    exp_id: str
+    title: str
+    paper_ref: str
+    rows: list[Mapping[str, Any]] = field(default_factory=list)
+    checks: list[Check] = field(default_factory=list)
+    notes: str = ""
+
+    @property
+    def passed(self) -> bool:
+        """Whether every check passed."""
+        return all(c.passed for c in self.checks)
+
+    def failed_checks(self) -> list[Check]:
+        """The checks that did not hold (empty on a clean run)."""
+        return [c for c in self.checks if not c.passed]
+
+    def check(self, name: str, passed: bool, detail: str = "") -> None:
+        """Append a criterion verdict."""
+        self.checks.append(Check(name=name, passed=bool(passed), detail=detail))
+
+    def require(self) -> "ExperimentResult":
+        """Raise if any check failed (used by tests and benches).
+
+        Raises:
+            AssertionError: listing every failed criterion.
+        """
+        bad = self.failed_checks()
+        if bad:
+            msgs = "\n".join(str(c) for c in bad)
+            raise AssertionError(f"{self.exp_id} failed checks:\n{msgs}")
+        return self
+
+
+def fit_slope(rows: Sequence[Mapping[str, Any]], x_col: str, y_col: str) -> float:
+    """Log-log growth exponent of ``y_col`` against ``x_col`` over the rows."""
+    from repro.core.comparison import growth_exponent
+
+    xs = [row[x_col] for row in rows]
+    ys = [row[y_col] for row in rows]
+    return growth_exponent(xs, ys)

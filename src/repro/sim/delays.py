@@ -1,0 +1,105 @@
+"""Link-delay models: the synchronous model and asynchronous extensions.
+
+The paper's model (Section 2.1) has every link deliver in exactly one
+round; Section 2.1 also notes that the *lower bounds* carry over to the
+asynchronous model, where link delays are unpredictable.  These delay
+models let the experiments probe that claim: protocols run unchanged
+while an adversary (deterministic, seeded) stretches individual message
+delays, and the correctness validators plus the separation checks are
+re-applied.
+
+A delay model is a callable ``(msg) -> int`` returning the link delay
+(>= 1) for one message.  Links remain FIFO: a delayed message still
+blocks the messages sent after it on the same link, matching the
+reliable-FIFO-link assumption.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.sim.message import Message
+
+
+def _det_uniform(seed: int, key: tuple, lo: int, hi: int) -> int:
+    """Deterministic pseudo-uniform integer in ``[lo, hi]`` from a key."""
+    h = hashlib.blake2b(repr((seed, key)).encode(), digest_size=8).digest()
+    return lo + int.from_bytes(h, "big") % (hi - lo + 1)
+
+
+@dataclass(frozen=True)
+class ConstantDelay:
+    """Every message takes exactly ``delay`` rounds on its link.
+
+    ``ConstantDelay(1)`` is the paper's synchronous model; larger values
+    model uniformly slower links (a pure time rescaling).
+    """
+
+    delay: int = 1
+
+    def __post_init__(self) -> None:
+        if self.delay < 1:
+            raise ValueError(f"link delay must be >= 1, got {self.delay}")
+
+    def __call__(self, msg: Message) -> int:
+        return self.delay
+
+
+@dataclass(frozen=True)
+class UniformDelay:
+    """Each message independently takes a delay in ``[lo, hi]`` (seeded).
+
+    The draw is a deterministic function of the message's creation
+    sequence number, so runs are exactly reproducible.
+    """
+
+    lo: int = 1
+    hi: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.lo <= self.hi):
+            raise ValueError(f"need 1 <= lo <= hi, got [{self.lo}, {self.hi}]")
+
+    def __call__(self, msg: Message) -> int:
+        return _det_uniform(self.seed, ("u", msg.seq), self.lo, self.hi)
+
+
+@dataclass(frozen=True)
+class TargetedDelay:
+    """An adversary that slows every message crossing selected links.
+
+    Messages traversing a link in ``slow_links`` (as ordered ``(src, dst)``
+    pairs) take ``slow`` rounds; everything else takes 1.  Models a
+    congested cut or a laggy region of the network.
+    """
+
+    slow_links: frozenset[tuple[int, int]]
+    slow: int = 5
+
+    def __post_init__(self) -> None:
+        if self.slow < 1:
+            raise ValueError(f"slow delay must be >= 1, got {self.slow}")
+
+    def __call__(self, msg: Message) -> int:
+        if (msg.src, msg.dst) in self.slow_links:
+            return self.slow
+        return 1
+
+
+@dataclass(frozen=True)
+class KindDelay:
+    """Delay by message kind — e.g. slow down only ``queue`` traffic.
+
+    Useful for asymmetric adversaries that stress one protocol phase.
+    """
+
+    delays: tuple[tuple[str, int], ...]
+    default: int = 1
+
+    def __call__(self, msg: Message) -> int:
+        for kind, d in self.delays:
+            if msg.kind == kind:
+                return d
+        return self.default

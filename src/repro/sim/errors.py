@@ -1,0 +1,37 @@
+"""Exception types raised by the simulator."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class CapacityError(SimulationError):
+    """Raised when a capacity parameter is invalid (must be >= 1)."""
+
+
+class RoundLimitExceeded(SimulationError):
+    """Raised when a run does not quiesce within ``max_rounds`` rounds.
+
+    Either the protocol genuinely diverges or the caller's round budget was
+    too small for the instance size.  The exception carries the round limit
+    so harnesses can report it.
+    """
+
+    def __init__(self, max_rounds: int, in_flight: int) -> None:
+        self.max_rounds = max_rounds
+        self.in_flight = in_flight
+        super().__init__(
+            f"simulation did not quiesce within {max_rounds} rounds "
+            f"({in_flight} messages still in flight or queued)"
+        )
+
+
+class ProtocolViolation(SimulationError):
+    """Raised when a protocol implementation breaks a model rule.
+
+    Examples: sending to a non-neighbor, sending from inside ``on_start``
+    of a node that is not part of the network, or completing the same
+    operation twice.
+    """

@@ -1,0 +1,55 @@
+"""The unit of communication in the synchronous model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(slots=True)
+class Message:
+    """A single message traversing one link of the network.
+
+    Messages are created by :meth:`repro.sim.node.NodeContext.send` and are
+    delivered exactly one round after they leave the sender's outbox (unit
+    link delay).  A message that arrives at a saturated receiver waits on
+    its incoming link in FIFO order; ``sent_at`` records when it entered
+    the link and ``delivered_at`` when the receiver actually processed it,
+    so the difference (minus one, the link latency) is the contention delay
+    it suffered at the receiver.
+
+    Attributes:
+        src: sender node id.
+        dst: receiver node id (must be a neighbor of ``src``).
+        kind: short protocol-defined tag, e.g. ``"queue"`` or ``"reply"``.
+        payload: protocol-defined content; treated as opaque by the engine.
+        sent_at: round in which the message entered the link (set by the
+            engine; ``-1`` until then).
+        ready_at: earliest round the message can be received — ``sent_at``
+            plus the link delay assigned by the network's delay model
+            (1 in the paper's synchronous model).
+        delivered_at: round in which the receiver processed the message
+            (set by the engine; ``-1`` until then).
+        seq: global creation sequence number, used only for deterministic
+            tie-breaking.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: Any = None
+    sent_at: int = -1
+    ready_at: int = -1
+    delivered_at: int = -1
+    seq: int = field(default=-1, compare=False)
+
+    def link_wait(self) -> int:
+        """Rounds this message waited beyond its link delay.
+
+        Returns ``delivered_at - ready_at``; zero for an uncontended
+        delivery.  Raises :class:`ValueError` if the message has not been
+        delivered yet.
+        """
+        if self.sent_at < 0 or self.delivered_at < 0:
+            raise ValueError("message has not completed its traversal")
+        return self.delivered_at - self.ready_at

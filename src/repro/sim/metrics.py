@@ -1,0 +1,107 @@
+"""Delay accounting: the paper's concurrent delay complexity metric.
+
+The metric of the paper (Section 2.2) is the *total delay*: the sum over
+all requesters of the round in which their operation completed, maximized
+over request sets.  :class:`DelayRecorder` collects per-operation
+completion rounds during a run; :func:`summarize_delays` reduces them to
+the totals the experiments report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Mapping
+
+from repro.sim.errors import ProtocolViolation
+
+
+@dataclass(slots=True, frozen=True)
+class OperationRecord:
+    """Completion record for one operation.
+
+    Attributes:
+        op_id: the operation identifier passed to ``ctx.complete``.
+        round: the round in which the response condition held.
+        result: protocol-defined response (a count for counting, a
+            predecessor identifier for queuing).
+        at_node: node at which the completion was recorded.
+    """
+
+    op_id: Hashable
+    round: int
+    result: Any
+    at_node: int
+
+
+class DelayRecorder:
+    """Collects operation completions during a simulation run."""
+
+    def __init__(self) -> None:
+        self._records: dict[Hashable, OperationRecord] = {}
+
+    def record(self, op_id: Hashable, round_: int, *, result: Any, at_node: int) -> None:
+        """Record the completion of ``op_id`` at round ``round_``.
+
+        Raises:
+            ProtocolViolation: if the operation already completed.
+        """
+        if op_id in self._records:
+            raise ProtocolViolation(f"operation {op_id!r} completed twice")
+        self._records[op_id] = OperationRecord(op_id, round_, result, at_node)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, op_id: Hashable) -> bool:
+        return op_id in self._records
+
+    def record_for(self, op_id: Hashable) -> OperationRecord:
+        """The full completion record of one operation."""
+        return self._records[op_id]
+
+    def delay_by_op(self) -> dict[Hashable, int]:
+        """Mapping operation id -> completion round."""
+        return {op: rec.round for op, rec in self._records.items()}
+
+    def result_by_op(self) -> dict[Hashable, Any]:
+        """Mapping operation id -> protocol result value."""
+        return {op: rec.result for op, rec in self._records.items()}
+
+    def total_delay(self) -> int:
+        """Sum of completion rounds — the paper's cost of this execution."""
+        return sum(rec.round for rec in self._records.values())
+
+    def max_delay(self) -> int:
+        """Largest single completion round (0 if no operations)."""
+        return max((rec.round for rec in self._records.values()), default=0)
+
+    def records(self) -> list[OperationRecord]:
+        """All completion records, sorted by (round, op id repr)."""
+        return sorted(self._records.values(), key=lambda r: (r.round, repr(r.op_id)))
+
+
+@dataclass(slots=True, frozen=True)
+class DelaySummary:
+    """Reduced view of a set of operation delays."""
+
+    count: int
+    total: int
+    maximum: int
+    mean: float
+
+
+def summarize_delays(delays: Mapping[Hashable, int] | Iterable[int]) -> DelaySummary:
+    """Reduce per-operation delays to (count, total, max, mean).
+
+    Accepts either the mapping from :meth:`DelayRecorder.delay_by_op` or a
+    bare iterable of rounds.
+    """
+    values = list(delays.values()) if isinstance(delays, Mapping) else list(delays)
+    n = len(values)
+    total = sum(values)
+    return DelaySummary(
+        count=n,
+        total=total,
+        maximum=max(values, default=0),
+        mean=(total / n) if n else 0.0,
+    )

@@ -1,0 +1,348 @@
+"""The synchronous round-based execution engine.
+
+The engine implements the model of Section 2.1 of the paper exactly:
+
+* unit link delay: a message sent in round ``t`` is receivable from round
+  ``t + 1`` on;
+* per-round send capacity: each node moves at most ``send_capacity``
+  messages from its outbox onto links per round (excess messages wait in
+  FIFO order — *send contention*);
+* per-round receive capacity: each node processes at most
+  ``recv_capacity`` messages per round, in deterministic
+  ``(sent_at, creation seq)`` order across its incoming links, with FIFO
+  order preserved per link (excess messages wait on the link — *receive
+  contention*);
+* all remaining computation is local and free.
+
+The engine is event-driven within the round structure: per round it only
+touches nodes that have something to receive or send, so the total work is
+proportional to the total number of message-rounds, not ``rounds x n``.
+This matters because the paper's contention bounds make some protocols run
+for Theta(n^2) rounds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.sim.delays import ConstantDelay
+from repro.sim.errors import CapacityError, ProtocolViolation, RoundLimitExceeded
+from repro.sim.message import Message
+from repro.sim.metrics import DelayRecorder
+from repro.sim.node import Node, NodeContext
+from repro.sim.trace import EventTrace
+
+
+@dataclass(slots=True)
+class RunStats:
+    """Aggregate accounting for one simulation run.
+
+    Attributes:
+        rounds: number of rounds executed until quiescence (the round in
+            which the last message was delivered).
+        messages_sent: messages that entered a link.
+        messages_delivered: messages processed by a receiver.
+        max_send_backlog: largest outbox length observed.
+        max_recv_backlog: largest single-link queue length observed.
+        total_link_wait: sum over delivered messages of the rounds they
+            waited at the receiver beyond the unit link delay — the total
+            receive contention in the run.
+    """
+
+    rounds: int = 0
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    max_send_backlog: int = 0
+    max_recv_backlog: int = 0
+    total_link_wait: int = 0
+
+
+def _as_adjacency(graph: Any) -> dict[int, tuple[int, ...]]:
+    """Normalize a graph-like input to a sorted adjacency dict.
+
+    Accepts a :class:`repro.topology.Graph` (anything with an ``adj``
+    mapping), a plain mapping ``{node: neighbors}``, or an iterable of
+    edges ``(u, v)``.
+    """
+    if hasattr(graph, "adj"):
+        raw: Mapping[int, Sequence[int]] = graph.adj
+        return {v: tuple(sorted(raw[v])) for v in raw}
+    if isinstance(graph, Mapping):
+        return {v: tuple(sorted(graph[v])) for v in graph}
+    adj: dict[int, set[int]] = {}
+    for u, v in graph:
+        adj.setdefault(u, set()).add(v)
+        adj.setdefault(v, set()).add(u)
+    return {v: tuple(sorted(nbrs)) for v, nbrs in adj.items()}
+
+
+class SynchronousNetwork:
+    """A synchronous message-passing network over a fixed graph.
+
+    Args:
+        graph: the communication graph (see :func:`_as_adjacency` for the
+            accepted forms).
+        nodes: mapping from node id to the :class:`Node` protocol object
+            for that id; must cover every vertex of the graph.
+        send_capacity: messages a node may send per round (paper: 1).
+        recv_capacity: messages a node may receive per round (paper: 1;
+            the arrow protocol uses the spanning-tree degree, the paper's
+            "expanded time step" convention).
+        delay_model: callable ``(msg) -> int`` giving each message's link
+            delay; defaults to the paper's synchronous unit delay.  See
+            :mod:`repro.sim.delays` for the asynchronous extensions.
+        trace: optional :class:`EventTrace` to record engine events into.
+
+    Typical use::
+
+        net = SynchronousNetwork(graph, nodes)
+        stats = net.run(max_rounds=10_000)
+        delays = net.delays.delay_by_op()
+    """
+
+    def __init__(
+        self,
+        graph: Any,
+        nodes: Mapping[int, Node],
+        *,
+        send_capacity: int = 1,
+        recv_capacity: int = 1,
+        delay_model=None,
+        trace: EventTrace | None = None,
+    ) -> None:
+        if send_capacity < 1:
+            raise CapacityError(f"send_capacity must be >= 1, got {send_capacity}")
+        if recv_capacity < 1:
+            raise CapacityError(f"recv_capacity must be >= 1, got {recv_capacity}")
+        self._adj = _as_adjacency(graph)
+        missing = set(self._adj) - set(nodes)
+        if missing:
+            raise ProtocolViolation(f"no Node object for vertices {sorted(missing)[:5]}...")
+        self._nodes: dict[int, Node] = dict(nodes)
+        self._nbr_sets = {v: frozenset(nbrs) for v, nbrs in self._adj.items()}
+        self.send_capacity = send_capacity
+        self.recv_capacity = recv_capacity
+        self.delay_model = delay_model if delay_model is not None else ConstantDelay(1)
+        self.now = 0
+        self.delays = DelayRecorder()
+        self.stats = RunStats()
+        self.trace = trace
+
+        # Per directed link (u, v): FIFO queue of messages in transit or
+        # waiting to be received at v.
+        self._links: dict[tuple[int, int], deque[Message]] = {}
+        # Per node: FIFO outbox of messages not yet on a link.
+        self._outbox: dict[int, deque[Message]] = {}
+        # Per node: heap of (ready_at, seq, src) for head-of-line messages
+        # on its incoming links.  Only heads are in the heap so arbitration
+        # is O(log deg) per delivery even on the star's hub.  A promoted
+        # head is never receivable before the round after its predecessor
+        # (per-link throughput is one message per round).
+        self._ready: dict[int, list[tuple[int, int, int]]] = {}
+        self._ctx: dict[int, NodeContext] = {
+            v: NodeContext(self, v) for v in self._adj
+        }
+        self._msg_seq = 0
+        self._in_flight = 0
+        self._started = False
+        self._wakeups: dict[int, list[int]] = {}
+
+    # ---------------------------------------------------------------- API
+
+    def neighbors(self, v: int) -> tuple[int, ...]:
+        """Sorted neighbors of ``v``."""
+        return self._adj[v]
+
+    def neighbor_set(self, v: int) -> frozenset[int]:
+        """Neighbors of ``v`` as a frozenset (for membership tests)."""
+        return self._nbr_sets[v]
+
+    @property
+    def node_ids(self) -> list[int]:
+        """All vertex ids, sorted."""
+        return sorted(self._adj)
+
+    def node(self, v: int) -> Node:
+        """The protocol object at vertex ``v``."""
+        return self._nodes[v]
+
+    def context(self, v: int) -> NodeContext:
+        """The :class:`NodeContext` bound to vertex ``v``."""
+        return self._ctx[v]
+
+    def run(self, max_rounds: int = 1_000_000) -> RunStats:
+        """Execute the protocol to quiescence and return run statistics.
+
+        Round 0 calls every node's ``on_start`` (in node-id order) and
+        flushes outboxes once; rounds 1, 2, ... alternate the receive and
+        send phases until no message remains in any link or outbox.
+
+        Raises:
+            RoundLimitExceeded: if quiescence is not reached within
+                ``max_rounds`` rounds.
+            ProtocolViolation: if :meth:`run` is called twice.
+        """
+        if self._started:
+            raise ProtocolViolation("a SynchronousNetwork can only be run once")
+        self._started = True
+
+        self.now = 0
+        for v in sorted(self._nodes):
+            self._nodes[v].on_start(self._ctx[v])
+        self._send_phase()
+
+        while self._in_flight > 0 or self._wakeups:
+            self.now += 1
+            if self.now > max_rounds:
+                raise RoundLimitExceeded(max_rounds, self._in_flight)
+            self._wake_phase()
+            self._receive_phase()
+            self._send_phase()
+            self._maybe_jump(max_rounds)
+
+        self.stats.rounds = self.now
+        return self.stats
+
+    # ------------------------------------------------------------ engine
+
+    def _enqueue_send(self, src: int, dst: int, kind: str, payload: Any) -> Message:
+        msg = Message(src=src, dst=dst, kind=kind, payload=payload, seq=self._msg_seq)
+        self._msg_seq += 1
+        box = self._outbox.get(src)
+        if box is None:
+            box = self._outbox[src] = deque()
+        box.append(msg)
+        self._in_flight += 1
+        if len(box) > self.stats.max_send_backlog:
+            self.stats.max_send_backlog = len(box)
+        if self.trace is not None:
+            self.trace.record("enqueue", self.now, src=src, dst=dst, kind=kind)
+        return msg
+
+    def _schedule_wakeup(self, node_id: int, round_: int) -> None:
+        if round_ <= self.now:
+            raise ProtocolViolation(
+                f"wakeup for node {node_id} at round {round_} is not in the "
+                f"future (now={self.now})"
+            )
+        self._wakeups.setdefault(round_, []).append(node_id)
+
+    def _wake_phase(self) -> None:
+        due = self._wakeups.pop(self.now, None)
+        if not due:
+            # If nothing is in flight, jump the clock to the next wakeup so
+            # idle stretches of a long-lived schedule cost no work.
+            if self._in_flight == 0 and self._wakeups:
+                nxt = min(self._wakeups)
+                if nxt > self.now:
+                    self.now = nxt
+                    due = self._wakeups.pop(nxt)
+            if not due:
+                return
+        for v in sorted(set(due)):
+            self._nodes[v].on_wake(self._ctx[v])
+
+    def _maybe_jump(self, max_rounds: int) -> None:
+        """Skip idle rounds: with long link delays nothing may be
+        receivable for a while; advance the clock to the next event."""
+        if self._in_flight == 0:
+            return
+        if any(box for box in self._outbox.values()):
+            return  # something enters a link next round
+        nxt = None
+        for heap in self._ready.values():
+            if heap and (nxt is None or heap[0][0] < nxt):
+                nxt = heap[0][0]
+        if self._wakeups:
+            w = min(self._wakeups)
+            nxt = w if nxt is None else min(nxt, w)
+        if nxt is not None and nxt > self.now + 1:
+            self.now = min(nxt - 1, max_rounds)
+
+    def _record_completion(self, op_id: Any, result: Any, node_id: int) -> None:
+        self.delays.record(op_id, self.now, result=result, at_node=node_id)
+        if self.trace is not None:
+            self.trace.record("complete", self.now, node=node_id, op=op_id)
+
+    def _receive_phase(self) -> None:
+        t = self.now
+        # Snapshot: only nodes with a non-empty ready heap can receive.
+        receivers = sorted(v for v, h in self._ready.items() if h)
+        for v in receivers:
+            heap = self._ready[v]
+            node = self._nodes[v]
+            ctx = self._ctx[v]
+            budget = self.recv_capacity
+            while budget > 0 and heap:
+                ready_at, _seq, src = heap[0]
+                if ready_at > t:
+                    break  # still traversing its link
+                heapq.heappop(heap)
+                q = self._links[(src, v)]
+                msg = q.popleft()
+                if q:
+                    nxt = q[0]
+                    heapq.heappush(heap, (max(nxt.ready_at, t + 1), nxt.seq, src))
+                msg.delivered_at = t
+                self._in_flight -= 1
+                budget -= 1
+                self.stats.messages_delivered += 1
+                self.stats.total_link_wait += msg.link_wait()
+                if self.trace is not None:
+                    self.trace.record(
+                        "deliver", t, src=src, dst=v, kind=msg.kind, wait=msg.link_wait()
+                    )
+                node.on_receive(msg, ctx)
+
+    def _send_phase(self) -> None:
+        t = self.now
+        senders = sorted(v for v, box in self._outbox.items() if box)
+        for u in senders:
+            box = self._outbox[u]
+            for _ in range(min(self.send_capacity, len(box))):
+                msg = box.popleft()
+                msg.sent_at = t
+                msg.ready_at = t + self.delay_model(msg)
+                key = (u, msg.dst)
+                q = self._links.get(key)
+                if q is None:
+                    q = self._links[key] = deque()
+                q.append(msg)
+                if len(q) > self.stats.max_recv_backlog:
+                    self.stats.max_recv_backlog = len(q)
+                if len(q) == 1:
+                    heap = self._ready.get(msg.dst)
+                    if heap is None:
+                        heap = self._ready[msg.dst] = []
+                    heapq.heappush(heap, (msg.ready_at, msg.seq, u))
+                self.stats.messages_sent += 1
+                if self.trace is not None:
+                    self.trace.record("send", t, src=u, dst=msg.dst, kind=msg.kind)
+
+
+def run_protocol(
+    graph: Any,
+    nodes: Mapping[int, Node],
+    *,
+    send_capacity: int = 1,
+    recv_capacity: int = 1,
+    max_rounds: int = 1_000_000,
+    trace: EventTrace | None = None,
+) -> SynchronousNetwork:
+    """Convenience wrapper: build a network, run it, return it.
+
+    The returned network exposes ``delays`` (per-operation completion
+    rounds) and ``stats`` (aggregate accounting).
+    """
+    net = SynchronousNetwork(
+        graph,
+        nodes,
+        send_capacity=send_capacity,
+        recv_capacity=recv_capacity,
+        trace=trace,
+    )
+    net.run(max_rounds=max_rounds)
+    return net

@@ -1,0 +1,120 @@
+"""Protocol node base class and the context API the engine exposes to it."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.sim.errors import ProtocolViolation
+from repro.sim.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.network import SynchronousNetwork
+
+
+class NodeContext:
+    """The engine-side API handed to a node's callbacks.
+
+    A context is bound to one node of one network.  All interaction with
+    the world — sending messages, learning the current round, reporting
+    operation completion — goes through it, which keeps protocol code free
+    of engine internals and makes the model rules (neighbors only,
+    capacities, unit delay) enforceable in one place.
+    """
+
+    __slots__ = ("_network", "_node_id", "_neighbors")
+
+    def __init__(self, network: "SynchronousNetwork", node_id: int) -> None:
+        self._network = network
+        self._node_id = node_id
+        self._neighbors = network.neighbors(node_id)
+
+    @property
+    def node_id(self) -> int:
+        """Id of the node this context is bound to."""
+        return self._node_id
+
+    @property
+    def now(self) -> int:
+        """The current round number (0 during ``on_start``)."""
+        return self._network.now
+
+    @property
+    def neighbors(self) -> tuple[int, ...]:
+        """The node's neighbors in the communication graph, sorted."""
+        return self._neighbors
+
+    def send(self, dst: int, kind: str, payload: Any = None) -> Message:
+        """Enqueue a message to neighbor ``dst``.
+
+        The message leaves the node's outbox subject to the per-round send
+        capacity and arrives one round after it leaves.  Returns the
+        :class:`Message` so callers may inspect it after the run.
+
+        Raises:
+            ProtocolViolation: if ``dst`` is not a neighbor of this node.
+        """
+        if dst not in self._network.neighbor_set(self._node_id):
+            raise ProtocolViolation(
+                f"node {self._node_id} tried to send to non-neighbor {dst}"
+            )
+        return self._network._enqueue_send(self._node_id, dst, kind, payload)
+
+    def complete(self, op_id: Any, result: Any = None) -> None:
+        """Report that operation ``op_id`` received its response this round.
+
+        The engine records the completion round in its
+        :class:`~repro.sim.metrics.DelayRecorder`.  Completing the same
+        operation twice raises :class:`ProtocolViolation`.
+        """
+        self._network._record_completion(op_id, result, self._node_id)
+
+    def schedule_wakeup(self, round_: int) -> None:
+        """Ask the engine to call this node's ``on_wake`` in round ``round_``.
+
+        Used by long-lived protocols whose nodes act at predetermined
+        times without having received a message (e.g. staggered request
+        arrivals).  The round must be in the future.
+
+        Raises:
+            ProtocolViolation: if ``round_`` is not strictly after the
+                current round.
+        """
+        self._network._schedule_wakeup(self._node_id, round_)
+
+
+class Node:
+    """Base class for all protocol nodes.
+
+    Subclasses override :meth:`on_start` (called once, in round 0, for
+    every node — this is where requesters issue their operations) and
+    :meth:`on_receive` (called once per delivered message).  Both receive
+    the node's :class:`NodeContext`.
+
+    The base class stores the node id and nothing else; protocol state
+    lives in subclasses.
+    """
+
+    __slots__ = ("node_id",)
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+
+    def on_start(self, ctx: NodeContext) -> None:
+        """Hook run in round 0, before any message is delivered."""
+
+    def on_receive(self, msg: Message, ctx: NodeContext) -> None:
+        """Hook run when a message is delivered to this node."""
+
+    def on_wake(self, ctx: NodeContext) -> None:
+        """Hook run in a round this node scheduled via ``schedule_wakeup``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(node_id={self.node_id})"
+
+
+def make_nodes(factory, node_ids: Iterable[int]) -> dict[int, Node]:
+    """Build a node map ``{id: factory(id)}`` for all ``node_ids``.
+
+    A small convenience used by protocol runners.
+    """
+    return {v: factory(v) for v in node_ids}

@@ -1,0 +1,57 @@
+"""Human-readable execution timelines from an event trace.
+
+For teaching and debugging: render a small run round by round, showing
+which messages moved where and which operations completed.  Used by the
+quickstart material and by tests that assert specific round-by-round
+behaviour of the arrow protocol.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.sim.trace import EventTrace
+
+
+def render_timeline(trace: EventTrace, max_rounds: int | None = None) -> str:
+    """Render a trace as one line per round.
+
+    Each round shows message deliveries (``src->dst kind``, with a
+    ``+wait`` suffix when the message waited at the receiver beyond its
+    link delay) and operation completions (``node!op``).
+
+    Args:
+        trace: the engine trace (pass ``trace=EventTrace()`` to the
+            network to collect one).
+        max_rounds: truncate the rendering after this many rounds.
+    """
+    by_round: dict[int, list[str]] = defaultdict(list)
+    for e in trace.events:
+        if e.kind == "deliver":
+            wait = e.data.get("wait", 0)
+            suffix = f"+{wait}" if wait else ""
+            by_round[e.round].append(
+                f"{e.data['src']}->{e.data['dst']} {e.data['kind']}{suffix}"
+            )
+        elif e.kind == "complete":
+            by_round[e.round].append(f"{e.data['node']}!{e.data['op']}")
+    if not by_round:
+        return "(no events)"
+    rounds = sorted(by_round)
+    if max_rounds is not None:
+        rounds = rounds[:max_rounds]
+    width = len(str(rounds[-1]))
+    lines = [
+        f"r{r:>{width}}: " + " | ".join(by_round[r]) for r in rounds
+    ]
+    if max_rounds is not None and len(by_round) > max_rounds:
+        lines.append(f"... ({len(by_round) - max_rounds} more rounds)")
+    return "\n".join(lines)
+
+
+def message_flow_summary(trace: EventTrace) -> dict[str, int]:
+    """Per message-kind delivery counts (a quick protocol fingerprint)."""
+    out: dict[str, int] = defaultdict(int)
+    for e in trace.of_kind("deliver"):
+        out[e.data["kind"]] += 1
+    return dict(sorted(out.items()))

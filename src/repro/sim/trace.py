@@ -1,0 +1,79 @@
+"""Optional event tracing for debugging and protocol validation.
+
+Tracing is off by default (the engine takes ``trace=None``) because a
+trace of a Theta(n^2)-round run is large.  Tests use it to assert engine
+invariants such as "no node received more than ``recv_capacity`` messages
+in any round".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+@dataclass(slots=True, frozen=True)
+class TraceEvent:
+    """One engine event.
+
+    Attributes:
+        kind: ``"enqueue"`` (protocol called send), ``"send"`` (message
+            entered a link), ``"deliver"`` (message processed by receiver),
+            or ``"complete"`` (operation finished).
+        round: round in which the event happened.
+        data: event-specific fields (src, dst, kind of message, ...).
+    """
+
+    kind: str
+    round: int
+    data: dict[str, Any]
+
+
+class EventTrace:
+    """An append-only list of :class:`TraceEvent` with query helpers."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def record(self, event: str, round_: int, **data: Any) -> None:
+        """Append one event (called by the engine).
+
+        ``event`` is the engine event type; ``data`` may carry a ``kind``
+        key for the *message* kind without colliding.
+        """
+        self.events.append(TraceEvent(event, round_, data))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """All events of one kind, in order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def deliveries_per_node_round(self) -> Counter:
+        """Counter ``(node, round) -> deliveries`` for capacity checks."""
+        c: Counter = Counter()
+        for e in self.of_kind("deliver"):
+            c[(e.data["dst"], e.round)] += 1
+        return c
+
+    def sends_per_node_round(self) -> Counter:
+        """Counter ``(node, round) -> link entries`` for capacity checks."""
+        c: Counter = Counter()
+        for e in self.of_kind("send"):
+            c[(e.data["src"], e.round)] += 1
+        return c
+
+    def max_deliveries_in_a_round(self) -> int:
+        """Largest number of deliveries any node processed in one round."""
+        per = self.deliveries_per_node_round()
+        return max(per.values(), default=0)
+
+    def max_sends_in_a_round(self) -> int:
+        """Largest number of link entries any node made in one round."""
+        per = self.sends_per_node_round()
+        return max(per.values(), default=0)

@@ -1,0 +1,151 @@
+"""Explicit Hamilton path constructions (Lemma 4.6 of the paper).
+
+Theorem 4.5 runs the arrow protocol on a Hamilton path chosen as the
+spanning tree; Lemma 4.6 proves the complete graph, the d-dimensional
+mesh, and the hypercube all have one.  This module materialises those
+existence proofs as constructions:
+
+* complete graph — any vertex order;
+* d-dimensional mesh — the boustrophedon (snake) order, which is exactly
+  the inductive "stack (d-1)-dimensional meshes and alternate direction"
+  construction in the proof of Lemma 4.6;
+* hypercube — the binary-reflected Gray code, the standard inductive
+  construction.
+
+A generic backtracking search is included for validating small ad-hoc
+graphs in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.topology.base import Graph, TopologyError
+
+
+def hamilton_path_complete(n: int) -> list[int]:
+    """A Hamilton path of K_n (any vertex order works; we use 0..n-1)."""
+    if n < 1:
+        raise TopologyError(f"need n >= 1, got {n}")
+    return list(range(n))
+
+
+def hamilton_path_mesh(dims: Sequence[int]) -> list[int]:
+    """The boustrophedon Hamilton path of the d-dimensional mesh.
+
+    Mirrors the inductive proof of Lemma 4.6: a d-dimensional mesh is a
+    stack of (d-1)-dimensional meshes; traverse each layer's path in
+    alternating direction so consecutive layer endpoints are adjacent.
+    Vertex ids are row-major, matching :func:`repro.topology.mesh_graph`.
+    """
+    dims = list(dims)
+    if not dims or any(d < 1 for d in dims):
+        raise TopologyError(f"mesh dims must be positive, got {dims}")
+
+    def build(ds: list[int]) -> list[int]:
+        if len(ds) == 1:
+            return list(range(ds[0]))
+        sub = build(ds[1:])
+        stride = math.prod(ds[1:])
+        order: list[int] = []
+        for layer in range(ds[0]):
+            chunk = sub if layer % 2 == 0 else sub[::-1]
+            order.extend(layer * stride + v for v in chunk)
+        return order
+
+    return build(dims)
+
+
+def hamilton_path_hypercube(d: int) -> list[int]:
+    """The Gray-code Hamilton path of the hypercube Q_d.
+
+    ``gray(i) = i XOR (i >> 1)`` visits every corner, changing exactly one
+    bit per step — each step is a hypercube edge.
+    """
+    if d < 1:
+        raise TopologyError(f"need d >= 1, got {d}")
+    return [i ^ (i >> 1) for i in range(1 << d)]
+
+
+def is_hamilton_path(graph: Graph, order: Sequence[int]) -> bool:
+    """Whether ``order`` is a Hamilton path of ``graph``.
+
+    Requires every vertex exactly once and every consecutive pair to be an
+    edge.
+    """
+    if sorted(order) != list(range(graph.n)):
+        return False
+    return all(graph.has_edge(order[i], order[i + 1]) for i in range(len(order) - 1))
+
+
+def find_hamilton_path(graph: Graph, node_budget: int = 2_000_000) -> list[int] | None:
+    """Backtracking search for a Hamilton path (small graphs only).
+
+    Tries every start vertex with a degree-ordered depth-first search.
+    Returns ``None`` when no path exists or the search budget is spent.
+    Intended for validating constructions on small instances, not for
+    production-size graphs (the problem is NP-hard).
+    """
+    n = graph.n
+    if n == 1:
+        return [0]
+    budget = node_budget
+
+    def extend(pathv: list[int], used: set[int]) -> list[int] | None:
+        nonlocal budget
+        budget -= 1
+        if budget <= 0:
+            return None
+        if len(pathv) == n:
+            return pathv
+        tip = pathv[-1]
+        # Prefer low-degree-remaining neighbors (Warnsdorff-style) to
+        # keep the search shallow on structured graphs.
+        cands = [v for v in graph.adj[tip] if v not in used]
+        cands.sort(key=lambda v: sum(1 for w in graph.adj[v] if w not in used))
+        for v in cands:
+            used.add(v)
+            pathv.append(v)
+            out = extend(pathv, used)
+            if out is not None:
+                return out
+            pathv.pop()
+            used.remove(v)
+        return None
+
+    starts = sorted(graph.vertices(), key=graph.degree)
+    for s in starts:
+        got = extend([s], {s})
+        if got is not None:
+            return got
+        if budget <= 0:
+            return None
+    return None
+
+
+def hamilton_path_of(graph: Graph) -> list[int]:
+    """A Hamilton path for a recognised family, else backtracking search.
+
+    Recognition is by the constructor-assigned ``name`` prefix
+    (``complete``, ``mesh``, ``hypercube``, ``path``); other graphs fall
+    back to :func:`find_hamilton_path`.
+
+    Raises:
+        TopologyError: if no Hamilton path is found.
+    """
+    name = graph.name
+    if name.startswith("complete("):
+        return hamilton_path_complete(graph.n)
+    if name.startswith("path("):
+        return list(range(graph.n))
+    if name.startswith("mesh("):
+        dims = [int(x) for x in name[len("mesh(") : -1].split("x")]
+        return hamilton_path_mesh(dims)
+    if name.startswith("hypercube("):
+        d = int(name[len("hypercube(") : -1])
+        return hamilton_path_hypercube(d)
+    got = find_hamilton_path(graph)
+    if got is None:
+        raise TopologyError(f"no Hamilton path found for {graph!r}")
+    return got

@@ -1,0 +1,56 @@
+"""Tree traversals used by the TSP analysis and the combining counter."""
+
+from __future__ import annotations
+
+from repro.tree.tree import RootedTree
+
+
+def dfs_preorder(tree: RootedTree) -> list[int]:
+    """Preorder vertex list (children visited in sorted order)."""
+    order: list[int] = []
+    stack = [tree.root]
+    while stack:
+        v = stack.pop()
+        order.append(v)
+        # reversed so the smallest child is visited first
+        stack.extend(reversed(tree.children[v]))
+    return order
+
+
+def euler_tour(tree: RootedTree) -> list[int]:
+    """The Euler tour (each edge traversed exactly twice, 2n-1 entries).
+
+    The tour's total edge cost is ``2(n-1)`` — the classical doubled-tree
+    bound that upper-bounds any TSP on the tree metric and anchors the
+    "NN-TSP is O(n)" comparisons.
+    """
+    tour: list[int] = []
+    # Frames are (vertex, next child index); a vertex is appended on first
+    # entry and again each time control returns to its parent.
+    stack: list[tuple[int, int]] = [(tree.root, 0)]
+    while stack:
+        v, ci = stack.pop()
+        kids = tree.children[v]
+        if ci == 0:
+            tour.append(v)
+        if ci < len(kids):
+            stack.append((v, ci + 1))
+            stack.append((kids[ci], 0))
+        elif v != tree.root:
+            tour.append(tree.parent[v])
+    return tour
+
+
+def leaves_of(tree: RootedTree) -> list[int]:
+    """All leaves (vertices with no children), sorted."""
+    return [v for v in range(tree.n) if not tree.children[v]]
+
+
+def subtree_sizes(tree: RootedTree) -> list[int]:
+    """``sizes[v]`` = number of vertices in the subtree rooted at ``v``."""
+    sizes = [1] * tree.n
+    # process vertices in decreasing depth so children are done first
+    for v in sorted(range(tree.n), key=lambda x: -tree.depth[x]):
+        if v != tree.root:
+            sizes[tree.parent[v]] += sizes[v]
+    return sizes

@@ -1,0 +1,129 @@
+"""Exact and 2-approximate tours for cross-checking the NN heuristic.
+
+On a tree metric the optimal open tour has a closed form
+(``2E - ecc``, see :func:`repro.tsp.bounds.tsp_path_lower_bound`), so
+:func:`held_karp_optimal` is mainly a correctness oracle: tests assert the
+DP optimum equals the closed form, and that NN is between the optimum and
+its Rosenkrantz envelope.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.tree import RootedTree
+
+
+def held_karp_optimal(tree: RootedTree, requests: Iterable[int], start: int | None = None) -> int:
+    """Exact minimum open-tour cost visiting ``requests`` from ``start``.
+
+    Classic Held–Karp subset DP over the request set; exponential in
+    ``|R|`` and guarded at 16 requesters.
+
+    Raises:
+        ValueError: if more than 16 distinct requesters are given.
+    """
+    if start is None:
+        start = tree.root
+    req = sorted(set(requests))
+    k = len(req)
+    if k == 0:
+        return 0
+    if k > 16:
+        raise ValueError(f"Held-Karp limited to 16 requesters, got {k}")
+
+    idx = {v: i for i, v in enumerate(req)}
+    d_start = [tree.distance(start, v) for v in req]
+    d = [[tree.distance(u, v) for v in req] for u in req]
+
+    full = 1 << k
+    INF = float("inf")
+    # dp[mask][i] = min cost to visit exactly `mask` ending at req[i]
+    dp = [[INF] * k for _ in range(full)]
+    for i in range(k):
+        dp[1 << i][i] = d_start[i]
+    for mask in range(full):
+        row = dp[mask]
+        for i in range(k):
+            ci = row[i]
+            if ci == INF or not (mask >> i) & 1:
+                continue
+            for j in range(k):
+                if (mask >> j) & 1:
+                    continue
+                nm = mask | (1 << j)
+                cand = ci + d[i][j]
+                if cand < dp[nm][j]:
+                    dp[nm][j] = cand
+    return int(min(dp[full - 1]))
+
+
+def steiner_vertex_set(tree: RootedTree, terminals: set[int]) -> set[int]:
+    """Vertices of the minimal subtree connecting ``terminals``.
+
+    Built as the union of the terminals' root-paths, then iteratively
+    pruned of non-terminal leaves (including any bare chain hanging above
+    the terminals toward the root).
+    """
+    marked: set[int] = set()
+    for t in terminals:
+        v = t
+        while v not in marked:
+            marked.add(v)
+            if v == tree.root:
+                break
+            v = tree.parent[v]
+    # Degree within the marked-induced subtree.
+    deg = {v: 0 for v in marked}
+    for v in marked:
+        p = tree.parent[v]
+        if v != tree.root and p in marked:
+            deg[v] += 1
+            deg[p] += 1
+    frontier = [v for v in marked if deg[v] <= 1 and v not in terminals]
+    while frontier:
+        v = frontier.pop()
+        if v not in marked or v in terminals or deg[v] > 1:
+            continue
+        marked.discard(v)
+        p = tree.parent[v]
+        neighbors = [u for u in (p, *tree.children[v]) if u in marked and u != v]
+        for u in neighbors:
+            deg[u] -= 1
+            if deg[u] <= 1 and u not in terminals:
+                frontier.append(u)
+    return marked
+
+
+def doubled_tree_tour(tree: RootedTree, requests: Iterable[int], start: int | None = None) -> tuple[list[int], int]:
+    """The classical 2-approximation: visit R in depth-first (preorder) order.
+
+    Returns ``(order, cost)``.  The walk is a DFS of the Steiner subtree
+    of ``R + {start}`` starting at ``start``; shortcutting the doubled
+    walk to the preorder of terminals costs at most twice the Steiner
+    subtree size, hence at most twice optimal — the benchmark baseline
+    that NN tours are compared against.
+    """
+    if start is None:
+        start = tree.root
+    terminals = set(requests)
+    if not terminals:
+        return [], 0
+    allowed = steiner_vertex_set(tree, terminals | {start})
+
+    order: list[int] = []
+    seen = {start}
+    stack = [start]
+    while stack:
+        v = stack.pop()
+        if v in terminals:
+            order.append(v)
+        nbrs = [u for u in (tree.parent[v], *tree.children[v]) if u != v]
+        for u in sorted(nbrs, reverse=True):
+            if u in allowed and u not in seen:
+                seen.add(u)
+                stack.append(u)
+
+    from repro.tsp.nearest_neighbor import tour_cost
+
+    return order, tour_cost(tree, order, start=start)

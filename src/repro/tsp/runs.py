@@ -1,0 +1,91 @@
+"""Run decomposition of a tour on the list (Lemmas 4.3 and 4.4).
+
+The proof of Lemma 4.3 writes the nearest-neighbour tour on a list as a
+concatenation of *runs* — maximal subsequences that move monotonically
+left or right — and shows that the run-to-run leg lengths satisfy the
+Fibonacci-like growth ``x_i >= x_{i-1} + x_{i-2}``, which caps the total
+cost at ``3n``.  This module materialises that decomposition so tests and
+benchmarks can check the inequality on real tours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Run:
+    """One maximal monotone segment of a tour on the list.
+
+    Attributes:
+        vertices: the visited vertices of the run, in visiting order.
+        direction: +1 if the run moves right (increasing positions), -1 if
+            left, 0 for a single-vertex run.
+    """
+
+    vertices: tuple[int, ...]
+
+    @property
+    def direction(self) -> int:
+        """+1 right, -1 left, 0 for a singleton run."""
+        if len(self.vertices) < 2:
+            return 0
+        return 1 if self.vertices[1] > self.vertices[0] else -1
+
+    @property
+    def first(self) -> int:
+        """First vertex of the run (``u_j`` in the paper's proof)."""
+        return self.vertices[0]
+
+    @property
+    def last(self) -> int:
+        """Last vertex of the run (``v_j`` in the paper's proof)."""
+        return self.vertices[-1]
+
+
+def run_decomposition(order: Sequence[int]) -> list[Run]:
+    """Split a list-tour visiting order into maximal monotone runs.
+
+    The vertices are interpreted as positions on the list (vertex ``i``
+    sits at position ``i``), matching the labelling of
+    :func:`repro.topology.path_graph`.
+    """
+    if not order:
+        return []
+    runs: list[Run] = []
+    cur: list[int] = [order[0]]
+    direction = 0
+    for v in order[1:]:
+        step = 1 if v > cur[-1] else -1
+        if direction == 0 or step == direction:
+            cur.append(v)
+            direction = step
+        else:
+            runs.append(Run(tuple(cur)))
+            cur = [v]
+            direction = 0
+    runs.append(Run(tuple(cur)))
+    return runs
+
+
+def lemma44_legs(order: Sequence[int], start: int) -> list[int]:
+    """The leg lengths ``x_1 .. x_m`` of the proof of Lemma 4.3.
+
+    ``x_1 = d(start, v_1)`` and ``x_i = d(v_{i-1}, v_i)`` where ``v_i`` is
+    the *last* vertex of run ``i``; distances on the list are absolute
+    position differences.  Lemma 4.4 asserts ``x_i >= x_{i-1} + x_{i-2}``
+    for ``i >= 3`` whenever the tour is a nearest-neighbour tour.
+    """
+    runs = run_decomposition(order)
+    legs: list[int] = []
+    prev_last = start
+    for run in runs:
+        legs.append(abs(run.last - prev_last))
+        prev_last = run.last
+    return legs
+
+
+def satisfies_lemma44(legs: Sequence[int]) -> bool:
+    """Whether ``x_i >= x_{i-1} + x_{i-2}`` holds for all ``i >= 3`` (1-based)."""
+    return all(legs[i] >= legs[i - 1] + legs[i - 2] for i in range(2, len(legs)))

@@ -1,0 +1,14 @@
+"""Shared helpers importable from any test module."""
+
+from __future__ import annotations
+
+from repro.topology.base import Graph
+from repro.tree import RootedTree
+from repro.tree import random_tree  # re-exported for test modules
+
+__all__ = ["random_tree", "tree_as_graph"]
+
+
+def tree_as_graph(tree: RootedTree, name: str = "tree") -> Graph:
+    """The undirected graph of a rooted tree."""
+    return Graph.from_edges(tree.n, tree.edges(), name=name)

@@ -1,0 +1,129 @@
+"""Distributed addition (fetch-and-add): combining tree and central server."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from helpers import random_tree, tree_as_graph
+from repro.adding import run_central_addition, run_combining_addition
+from repro.counting import run_combining_counting
+from repro.topology import complete_graph, path_graph, star_graph
+from repro.topology.spanning import (
+    SpanningTree,
+    bfs_spanning_tree,
+    embedded_binary_tree,
+    path_spanning_tree,
+)
+
+
+class TestCombiningAddition:
+    def test_prefix_sums_along_order(self):
+        st = embedded_binary_tree(complete_graph(7))
+        r = run_combining_addition(st, {v: 10 * (v + 1) for v in range(7)})
+        r.verify()
+        running = 0
+        for v in r.order:
+            assert r.prior_sums[v] == running
+            running += r.increments[v]
+
+    def test_unit_increments_equal_counting_minus_one(self):
+        st = embedded_binary_tree(complete_graph(15))
+        add = run_combining_addition(st, {v: 1 for v in range(15)})
+        cnt = run_combining_counting(st, range(15))
+        # fetch-and-add returns the prior value; rank = prior + 1
+        assert {v: s + 1 for v, s in add.prior_sums.items()} == cnt.counts
+        assert add.delays == cnt.delays
+        assert add.total_delay == cnt.total_delay
+
+    def test_negative_and_zero_increments(self):
+        st = path_spanning_tree(path_graph(6))
+        r = run_combining_addition(st, {1: -3, 3: 0, 5: 7})
+        r.verify()
+        assert set(r.order) == {1, 3, 5}
+
+    def test_partial_participation(self):
+        st = bfs_spanning_tree(star_graph(9))
+        r = run_combining_addition(st, {2: 5, 7: -1})
+        assert set(r.prior_sums) == {2, 7}
+
+    def test_delays_are_increment_oblivious(self):
+        st = embedded_binary_tree(complete_graph(31))
+        a = run_combining_addition(st, {v: 1 for v in range(31)})
+        b = run_combining_addition(st, {v: (-1) ** v * v for v in range(31)})
+        assert a.delays == b.delays
+
+    def test_out_of_range_rejected(self):
+        st = path_spanning_tree(path_graph(4))
+        with pytest.raises(ValueError):
+            run_combining_addition(st, {9: 1})
+
+    def test_random_trees(self):
+        rng = random.Random(61)
+        for trial in range(25):
+            n = rng.randint(2, 30)
+            t = random_tree(n, seed=trial + 40)
+            st = SpanningTree(tree_as_graph(t), t, label="rand")
+            incs = {
+                v: rng.randint(-9, 9)
+                for v in rng.sample(range(n), rng.randint(1, n))
+            }
+            run_combining_addition(st, incs).verify()
+
+    def test_max_delay_property(self):
+        st = path_spanning_tree(path_graph(8))
+        r = run_combining_addition(st, {v: 1 for v in range(8)})
+        assert r.max_delay == max(r.delays.values())
+        empty_like = run_combining_addition(st, {0: 1})
+        assert empty_like.max_delay >= 0
+
+
+class TestCentralAddition:
+    def test_arrival_order_prefix_sums(self):
+        g = star_graph(6)
+        r = run_central_addition(g, {v: v for v in range(6)})
+        r.verify()
+        assert len(r.order) == 6
+
+    def test_matches_combining_total_sum(self):
+        g = complete_graph(10)
+        incs = {v: v * v for v in range(10)}
+        rc = run_central_addition(g, incs)
+        ra = run_combining_addition(embedded_binary_tree(g), incs)
+        final_c = sum(incs.values())
+        # last op's prior + its increment == total, in both
+        last_c = rc.order[-1]
+        last_a = ra.order[-1]
+        assert rc.prior_sums[last_c] + incs[last_c] == final_c
+        assert ra.prior_sums[last_a] + incs[last_a] == final_c
+
+    def test_root_choice(self):
+        g = path_graph(5)
+        r = run_central_addition(g, {0: 1, 4: 2}, root=2)
+        r.verify()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            run_central_addition(path_graph(3), {5: 1})
+
+    def test_random_instances(self):
+        rng = random.Random(62)
+        for trial in range(15):
+            n = rng.randint(2, 20)
+            g = complete_graph(n)
+            incs = {
+                v: rng.randint(-5, 5)
+                for v in rng.sample(range(n), rng.randint(1, n))
+            }
+            run_central_addition(g, incs, root=rng.randrange(n)).verify()
+
+
+class TestDeepTrees:
+    def test_combining_addition_on_deep_path_tree(self):
+        """Path-shaped spanning trees are deeper than the recursion limit;
+        the order reconstruction must be iterative."""
+        st = path_spanning_tree(path_graph(2500))
+        r = run_combining_addition(st, {v: 1 for v in range(0, 2500, 5)})
+        r.verify()
+        assert len(r.order) == 500

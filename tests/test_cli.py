@@ -1,0 +1,64 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 21):
+            assert f"E{i} " in out or f"E{i}\t" in out or f"E{i}  " in out
+
+
+class TestRun:
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "E3"]) == 0
+        out = capsys.readouterr().out
+        assert "E3" in out and "[PASS]" in out
+
+    def test_run_lowercase_id(self, capsys):
+        assert main(["run", "e1"]) == 0
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["run", "E99"])
+
+
+class TestProtocols:
+    def test_arrow_on_mesh(self, capsys):
+        assert main(["arrow", "--graph", "mesh", "--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "total delay" in out
+
+    def test_arrow_on_star_falls_back_to_bfs_tree(self, capsys):
+        assert main(["arrow", "--graph", "star", "--n", "8"]) == 0
+
+    @pytest.mark.parametrize(
+        "algo", ["combining", "central", "flood", "cnet", "periodic"]
+    )
+    def test_count_algorithms(self, algo, capsys):
+        assert main(["count", "--graph", "complete", "--n", "8",
+                     "--algorithm", algo]) == 0
+        out = capsys.readouterr().out
+        assert "total delay" in out
+
+    def test_unknown_graph_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["arrow", "--graph", "petersen"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_choices(self):
+        args = build_parser().parse_args(["run", "E1", "--scale", "bench"])
+        assert args.scale == "bench"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E1", "--scale", "huge"])

@@ -1,0 +1,180 @@
+"""Core problem types, verifiers, request scenarios, comparison harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    VerificationError,
+    all_nodes,
+    alternating,
+    far_half,
+    growth_exponent,
+    random_subset,
+    scenario_suite,
+    single_node,
+    verify_counting,
+    verify_queuing,
+    verify_total_order_consistency,
+)
+from repro.core.comparison import AlgorithmSpec, ComparisonRow, compare_on_graph, ratio_series
+from repro.core.request import exhaustive_request_sets, request_sets_of_size
+from repro.topology import complete_graph, path_graph, star_graph
+
+
+class TestVerifyCounting:
+    def test_valid(self):
+        verify_counting([3, 5, 9], {3: 2, 5: 1, 9: 3})
+
+    def test_wrong_recipients(self):
+        with pytest.raises(VerificationError):
+            verify_counting([1, 2], {1: 1, 3: 2})
+
+    def test_missing_recipient(self):
+        with pytest.raises(VerificationError):
+            verify_counting([1, 2], {1: 1})
+
+    def test_duplicate_counts(self):
+        with pytest.raises(VerificationError):
+            verify_counting([1, 2], {1: 1, 2: 1})
+
+    def test_gap_in_counts(self):
+        with pytest.raises(VerificationError):
+            verify_counting([1, 2], {1: 1, 2: 3})
+
+
+class TestVerifyQueuing:
+    def test_valid_chain(self):
+        preds = {
+            ("op", 2): ("init", 0),
+            ("op", 5): ("op", 2),
+            ("op", 1): ("op", 5),
+        }
+        chain = verify_queuing([1, 2, 5], preds, tail=0)
+        assert chain == [("op", 2), ("op", 5), ("op", 1)]
+
+    def test_wrong_op_set(self):
+        with pytest.raises(VerificationError):
+            verify_queuing([1, 2], {("op", 1): ("init", 0)}, tail=0)
+
+    def test_fork_detected(self):
+        preds = {("op", 1): ("init", 0), ("op", 2): ("init", 0)}
+        with pytest.raises(VerificationError):
+            verify_queuing([1, 2], preds, tail=0)
+
+    def test_cycle_detected(self):
+        preds = {("op", 1): ("op", 2), ("op", 2): ("op", 1)}
+        with pytest.raises(VerificationError):
+            verify_queuing([1, 2], preds, tail=0)
+
+    def test_chain_not_anchored_at_tail(self):
+        preds = {("op", 1): ("init", 9), ("op", 2): ("op", 1)}
+        with pytest.raises(VerificationError):
+            verify_queuing([1, 2], preds, tail=0)
+
+
+class TestOrderConsistency:
+    def test_identical_orders_pass(self):
+        verify_total_order_consistency([[1, 2, 3], [1, 2, 3]])
+
+    def test_divergent_orders_fail(self):
+        with pytest.raises(VerificationError):
+            verify_total_order_consistency([[1, 2, 3], [1, 3, 2]])
+
+    def test_empty(self):
+        verify_total_order_consistency([])
+
+
+class TestScenarios:
+    def test_all_nodes(self):
+        assert all_nodes()(path_graph(5)) == [0, 1, 2, 3, 4]
+
+    def test_single(self):
+        assert single_node(3)(path_graph(5)) == [3]
+
+    def test_random_subset_seeded(self):
+        s = random_subset(0.5, seed=3)
+        g = complete_graph(30)
+        assert s(g) == s(g)
+        assert len(s(g)) >= 1
+
+    def test_random_subset_never_empty(self):
+        s = random_subset(0.0001, seed=1)
+        assert len(s(path_graph(10))) >= 1
+
+    def test_random_subset_invalid_p(self):
+        with pytest.raises(ValueError):
+            random_subset(0.0)
+        with pytest.raises(ValueError):
+            random_subset(1.5)
+
+    def test_far_half_prefers_distance(self):
+        req = far_half(0)(path_graph(10))
+        assert len(req) == 5
+        assert set(req) == {5, 6, 7, 8, 9}
+
+    def test_alternating(self):
+        assert alternating(3)(path_graph(10)) == [0, 3, 6, 9]
+        with pytest.raises(ValueError):
+            alternating(0)
+
+    def test_suite_is_nonempty_and_named(self):
+        suite = scenario_suite()
+        assert len(suite) >= 4
+        assert len({s.name for s in suite}) == len(suite)
+
+    def test_exhaustive_sets(self):
+        sets = exhaustive_request_sets(3)
+        assert len(sets) == 7
+        with pytest.raises(ValueError):
+            exhaustive_request_sets(20)
+
+    def test_fixed_size_sets(self):
+        sets = request_sets_of_size(10, 3, count=5, seed=0)
+        assert len(sets) == 5
+        assert all(len(s) == 3 for s in sets)
+        assert len({tuple(s) for s in sets}) == 5
+        with pytest.raises(ValueError):
+            request_sets_of_size(5, 9, count=1)
+
+
+class TestComparison:
+    def test_compare_on_graph_rows(self):
+        from repro.counting import run_central_counting
+
+        spec = AlgorithmSpec(
+            name="central",
+            kind="counting",
+            run=lambda g, req: run_central_counting(g, req),
+        )
+        rows = compare_on_graph(star_graph(6), [spec], [all_nodes()])
+        assert len(rows) == 1
+        row = rows[0]
+        assert isinstance(row, ComparisonRow)
+        assert row.requesters == 6 and row.kind == "counting"
+        assert row.total_delay > 0
+
+    def test_spec_kind_validated(self):
+        with pytest.raises(ValueError):
+            AlgorithmSpec(name="x", kind="sorting", run=lambda g, r: None)
+
+    def test_growth_exponent_shapes(self):
+        ns = [8, 16, 32, 64]
+        assert abs(growth_exponent(ns, [n * n for n in ns]) - 2.0) < 1e-9
+        assert abs(growth_exponent(ns, ns) - 1.0) < 1e-9
+
+    def test_growth_exponent_validation(self):
+        with pytest.raises(ValueError):
+            growth_exponent([1], [1])
+        with pytest.raises(ValueError):
+            growth_exponent([1, 2], [0, 5])
+
+    def test_ratio_series(self):
+        rows = [
+            ComparisonRow("g", 8, "all", "count", "counting", 8, 80, 10),
+            ComparisonRow("g", 8, "all", "queue", "queuing", 8, 20, 5),
+            ComparisonRow("g", 16, "all", "count", "counting", 16, 320, 20),
+            ComparisonRow("g", 16, "all", "queue", "queuing", 16, 40, 10),
+        ]
+        series = ratio_series(rows, "count", "queue")
+        assert series == {8: 4.0, 16: 8.0}

@@ -1,0 +1,87 @@
+"""The experiment suite: every theorem-experiment passes at test scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    render_experiment,
+    render_table,
+    run_e2_thm35_general_lower_bound,
+    run_e4_thm36_diameter_lower_bound,
+    run_e5_thm41_arrow_vs_tsp,
+    run_e12_star_counterexample,
+)
+from repro.experiments.harness import Check, ExperimentResult
+
+
+class TestHarness:
+    def test_check_str(self):
+        assert str(Check("x", True)).startswith("[PASS]")
+        assert "why" in str(Check("x", False, detail="why"))
+
+    def test_result_passed(self):
+        r = ExperimentResult("E0", "t", "ref")
+        r.check("a", True)
+        assert r.passed and not r.failed_checks()
+        r.check("b", False, "oops")
+        assert not r.passed and len(r.failed_checks()) == 1
+
+    def test_require_raises_with_details(self):
+        r = ExperimentResult("E0", "t", "ref")
+        r.check("bad", False, "numbers")
+        with pytest.raises(AssertionError, match="numbers"):
+            r.require()
+
+    def test_require_passes_through(self):
+        r = ExperimentResult("E0", "t", "ref")
+        r.check("ok", True)
+        assert r.require() is r
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}]
+        text = render_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_render_table_empty(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_render_table_column_selection(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_render_experiment_includes_checks(self):
+        r = ExperimentResult("E0", "title", "Thm 0")
+        r.rows.append({"n": 1})
+        r.check("crit", True, "d")
+        out = render_experiment(r)
+        assert "E0" in out and "[PASS] crit" in out and "Thm 0" in out
+
+
+# Small-scale parameterisations so the whole suite stays fast in CI.
+SMALL = {
+    "E2": lambda: run_e2_thm35_general_lower_bound(sizes=(8, 16, 32)),
+    "E4": lambda: run_e4_thm36_diameter_lower_bound(
+        list_sizes=(16, 32, 64), mesh_sides=(3, 4, 5)
+    ),
+    "E5": lambda: run_e5_thm41_arrow_vs_tsp(sizes=(8, 16, 32), seeds=(0, 1, 2)),
+    "E12": lambda: run_e12_star_counterexample(sizes=(8, 16, 32)),
+}
+
+
+@pytest.mark.parametrize("exp_id", sorted(ALL_EXPERIMENTS))
+def test_experiment_passes(exp_id):
+    runner = SMALL.get(exp_id, ALL_EXPERIMENTS[exp_id])
+    result = runner()
+    result.require()
+    assert result.rows, f"{exp_id} produced no table rows"
+    assert result.exp_id == exp_id
+
+
+def test_registry_complete():
+    assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 21)}

@@ -1,0 +1,106 @@
+"""Coverage for the smaller utility surfaces.
+
+Metrics reduction, node helpers, table formatting, figure generation,
+graph-property edge cases, and the harness slope fitter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import ALL_FIGURES, figure_latency_profiles, figure_separation_curve
+from repro.experiments.harness import fit_slope
+from repro.sim.metrics import DelayRecorder, summarize_delays
+from repro.sim.node import Node, make_nodes
+from repro.topology import (
+    all_pairs_distances,
+    bfs_distances,
+    complete_graph,
+    degree_histogram,
+    eccentricity,
+    mesh_graph,
+    path_graph,
+)
+from repro.topology.base import Graph
+
+
+class TestMetrics:
+    def test_summarize_mapping(self):
+        s = summarize_delays({"a": 2, "b": 4})
+        assert (s.count, s.total, s.maximum, s.mean) == (2, 6, 4, 3.0)
+
+    def test_summarize_iterable(self):
+        s = summarize_delays([1, 2, 3])
+        assert s.total == 6 and s.maximum == 3
+
+    def test_summarize_empty(self):
+        s = summarize_delays([])
+        assert s.count == 0 and s.mean == 0.0 and s.maximum == 0
+
+    def test_recorder_accessors(self):
+        rec = DelayRecorder()
+        rec.record("x", 5, result=42, at_node=1)
+        assert "x" in rec and len(rec) == 1
+        assert rec.record_for("x").result == 42
+        assert rec.total_delay() == 5
+        assert rec.max_delay() == 5
+        assert rec.records()[0].at_node == 1
+
+    def test_recorder_empty_max(self):
+        assert DelayRecorder().max_delay() == 0
+
+
+class TestNodeHelpers:
+    def test_make_nodes(self):
+        nodes = make_nodes(lambda v: Node(v), range(4))
+        assert sorted(nodes) == [0, 1, 2, 3]
+        assert all(nodes[v].node_id == v for v in nodes)
+
+    def test_node_repr(self):
+        assert "node_id=3" in repr(Node(3))
+
+
+class TestGraphProperties:
+    def test_bfs_unreachable_marked(self):
+        g = Graph({0: (), 1: ()}, name="disc")
+        dist = bfs_distances(g, 0)
+        assert dist[1] == -1
+
+    def test_eccentricity_values(self):
+        g = path_graph(5)
+        assert eccentricity(g, 0) == 4
+        assert eccentricity(g, 2) == 2
+
+    def test_eccentricity_disconnected_raises(self):
+        g = Graph({0: (), 1: ()}, name="disc")
+        with pytest.raises(ValueError):
+            eccentricity(g, 0)
+
+    def test_all_pairs_symmetric(self):
+        g = mesh_graph([3, 3])
+        d = all_pairs_distances(g)
+        assert (d == d.T).all()
+        assert (d.diagonal() == 0).all()
+
+    def test_degree_histogram_complete(self):
+        assert degree_histogram(complete_graph(5)) == {4: 5}
+
+
+class TestHarnessHelpers:
+    def test_fit_slope(self):
+        rows = [{"n": 10, "y": 100}, {"n": 20, "y": 400}, {"n": 40, "y": 1600}]
+        assert abs(fit_slope(rows, "n", "y") - 2.0) < 1e-9
+
+
+class TestFigures:
+    def test_registry(self):
+        assert set(ALL_FIGURES) == {"F1", "F2"}
+
+    def test_f1_contains_monotone_ratios(self):
+        text = figure_separation_curve(sizes=(8, 16))
+        assert "F1" in text and "n=8" in text and "n=16" in text
+
+    def test_f2_bounds_respected(self):
+        text = figure_latency_profiles(n=16)
+        assert "respected: True" in text
+        assert text.count("respected: True") == 2

@@ -1,0 +1,104 @@
+"""Per-operation lower bounds (Lemma 3.1 / Theorem 3.6, fine-grained).
+
+The paper's sums are built from per-operation latency bounds; here we
+check every implemented counting algorithm satisfies them *operation by
+operation*, not just in aggregate — a much stronger consistency check of
+the simulator against the theory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bounds.counting_lb import (
+    per_op_diameter_bound,
+    per_op_general_bound,
+    verify_per_op_bounds,
+)
+from repro.counting import (
+    run_central_counting,
+    run_combining_counting,
+    run_counting_network,
+    run_flood_counting,
+    run_periodic_counting,
+)
+from repro.topology import complete_graph, diameter, mesh_graph, path_graph, star_graph
+from repro.topology.spanning import bfs_spanning_tree, embedded_binary_tree
+
+
+class TestBoundFunctions:
+    def test_general_bound_values(self):
+        assert per_op_general_bound(1) == 0
+        assert per_op_general_bound(4) == 1
+        assert per_op_general_bound(5) == 2
+        assert per_op_general_bound(70000) == 3
+
+    def test_diameter_bound_values(self):
+        # n=10, alpha=9: count 10 needs >= 4, count 6 needs >= 0
+        assert per_op_diameter_bound(10, 10, 9) == 4
+        assert per_op_diameter_bound(6, 10, 9) == 0
+        assert per_op_diameter_bound(1, 10, 9) == 0
+
+    def test_diameter_bound_validation(self):
+        with pytest.raises(ValueError):
+            per_op_diameter_bound(0, 5, 4)
+        with pytest.raises(ValueError):
+            per_op_diameter_bound(9, 5, 4)
+
+    def test_verifier_detects_violation(self):
+        counts = {0: 1, 1: 2}
+        good = {0: 0, 1: 3}
+        bad = {0: 0, 1: 0}  # count 2 with delay 0 is impossible
+        assert verify_per_op_bounds(counts, good, 2, 1, all_counting=True)
+        assert not verify_per_op_bounds(counts, bad, 2, 1, all_counting=True)
+
+
+GRAPH_CASES = [
+    complete_graph(16),
+    path_graph(24),
+    mesh_graph([4, 4]),
+    star_graph(12),
+]
+
+
+class TestAllAlgorithmsPerOp:
+    @pytest.mark.parametrize("g", GRAPH_CASES, ids=lambda g: g.name)
+    def test_central(self, g):
+        alpha = diameter(g)
+        r = run_central_counting(g, range(g.n))
+        assert verify_per_op_bounds(r.counts, r.delays, g.n, alpha, True)
+
+    @pytest.mark.parametrize("g", GRAPH_CASES, ids=lambda g: g.name)
+    def test_flood(self, g):
+        alpha = diameter(g)
+        r = run_flood_counting(g, range(g.n))
+        assert verify_per_op_bounds(r.counts, r.delays, g.n, alpha, True)
+
+    @pytest.mark.parametrize("g", GRAPH_CASES, ids=lambda g: g.name)
+    def test_combining(self, g):
+        alpha = diameter(g)
+        r = run_combining_counting(bfs_spanning_tree(g), range(g.n))
+        assert verify_per_op_bounds(r.counts, r.delays, g.n, alpha, True)
+
+    @pytest.mark.parametrize("g", GRAPH_CASES, ids=lambda g: g.name)
+    def test_counting_network(self, g):
+        alpha = diameter(g)
+        r = run_counting_network(g, range(g.n))
+        assert verify_per_op_bounds(r.counts, r.delays, g.n, alpha, True)
+
+    def test_periodic_network(self):
+        g = complete_graph(16)
+        r = run_periodic_counting(g, range(16))
+        assert verify_per_op_bounds(r.counts, r.delays, 16, 1, True)
+
+    def test_binary_tree_combining_on_knn(self):
+        g = complete_graph(31)
+        r = run_combining_counting(embedded_binary_tree(g), range(31))
+        assert verify_per_op_bounds(r.counts, r.delays, 31, 1, True)
+
+    def test_subset_requests_skip_diameter_bound(self):
+        g = path_graph(16)
+        req = [3, 9, 15]
+        r = run_central_counting(g, req)
+        # only the general per-op bound applies with partial requesters
+        assert verify_per_op_bounds(r.counts, r.delays, g.n, 15, False)

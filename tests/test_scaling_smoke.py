@@ -1,0 +1,82 @@
+"""Larger-instance smoke tests: the asymptotics hold one decade further up.
+
+These run in a few seconds total and confirm that the engine and the
+protocols behave at sizes an order of magnitude beyond the unit tests —
+including the exact closed forms the theory predicts.
+"""
+
+from __future__ import annotations
+
+from repro.arrow import run_arrow
+from repro.bounds import list_queuing_bound, theorem36_lower_bound
+from repro.counting import run_central_counting, run_sweep_counting
+from repro.topology import complete_graph, mesh_graph, path_graph, star_graph
+from repro.topology.spanning import path_spanning_tree
+from repro.tsp import list_tsp_bound, nearest_neighbor_tour
+from repro.tree import RootedTree
+
+
+class TestLargeArrow:
+    def test_arrow_wave_on_4096_path(self):
+        n = 4096
+        st = path_spanning_tree(path_graph(n))
+        res = run_arrow(st, range(n))
+        # the concurrent wave: every non-tail op terminates at distance 1
+        assert res.total_delay == n - 1
+        assert res.max_delay == 1
+        assert res.total_delay <= list_queuing_bound(n)
+
+    def test_arrow_alternating_on_2048_path(self):
+        n = 2048
+        st = path_spanning_tree(path_graph(n))
+        res = run_arrow(st, range(0, n, 2))
+        # each op's message travels 2 hops to its left neighbor requester
+        assert res.max_delay <= 4
+        assert sorted(res.order()) == list(range(0, n, 2))
+
+
+class TestLargeCounting:
+    def test_central_star_512_exact_quadratic_shape(self):
+        n = 512
+        res = run_central_counting(star_graph(n), range(n))
+        assert res.total_delay >= theorem36_lower_bound(2)
+        # hub serialisation: the k-th served leaf waits ~2k rounds
+        assert res.total_delay > n * n // 2
+
+    def test_central_list_256_respects_diameter_bound(self):
+        n = 256
+        res = run_central_counting(path_graph(n), range(n))
+        assert res.total_delay >= theorem36_lower_bound(n - 1)
+
+    def test_sweep_1024(self):
+        n = 1024
+        res = run_sweep_counting(complete_graph(64), range(64))
+        assert res.total_delay == 64 * 63 // 2
+        # and a long path sweep
+        res2 = run_sweep_counting(path_graph(n), range(0, n, 16))
+        assert len(res2.counts) == n // 16
+
+
+class TestLargeTsp:
+    def test_nn_tour_on_8192_list(self):
+        n = 8192
+        tree = RootedTree.from_path(list(range(n)))
+        tour = nearest_neighbor_tour(tree, range(0, n, 3), start=n // 2)
+        assert tour.cost <= list_tsp_bound(n)
+
+    def test_nn_tour_on_deep_binary_tree(self):
+        from repro.topology import perfect_mary_tree
+        from repro.tsp import binary_tree_tsp_bound
+
+        g = perfect_mary_tree(2, 11)  # 4095 vertices
+        tree = RootedTree.from_edges(g.n, g.edges(), root=0)
+        tour = nearest_neighbor_tour(tree, range(g.n))
+        assert tour.cost <= binary_tree_tsp_bound(g.n)
+
+
+class TestLargeMesh:
+    def test_mesh_16x16_counting_vs_arrow(self):
+        g = mesh_graph([16, 16])
+        counting = run_central_counting(g, range(g.n))
+        arrow = run_arrow(path_spanning_tree(g), range(g.n))
+        assert counting.total_delay > 10 * arrow.total_delay

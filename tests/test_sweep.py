@@ -1,0 +1,69 @@
+"""Sweep-token counting: the O(n)-max / Theta(n^2)-total baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.comparison import growth_exponent
+from repro.counting import run_sweep_counting
+from repro.topology import complete_graph, hypercube_graph, mesh_graph, path_graph, star_graph
+
+
+class TestSweep:
+    def test_ranks_follow_path_order(self):
+        r = run_sweep_counting(path_graph(6), range(6))
+        assert r.counts == {v: v + 1 for v in range(6)}
+        # delays: requester i completes when the token reaches it
+        assert r.delays == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4, 5: 5}
+
+    def test_subset_skips_nonrequesters_in_numbering_not_in_walk(self):
+        r = run_sweep_counting(path_graph(8), [2, 6])
+        assert r.counts == {2: 1, 6: 2}
+        # the token still walks through 0 and 1 before reaching 2
+        assert r.delays[2] == 2 and r.delays[6] == 6
+
+    def test_total_quadratic_max_linear(self):
+        ns = [8, 16, 32, 64]
+        totals, maxes = [], []
+        for n in ns:
+            r = run_sweep_counting(complete_graph(n), range(n))
+            totals.append(r.total_delay)
+            maxes.append(r.max_delay)
+        assert growth_exponent(ns, totals) > 1.8
+        assert growth_exponent(ns, maxes) < 1.2
+
+    def test_exact_total_on_complete(self):
+        n = 20
+        r = run_sweep_counting(complete_graph(n), range(n))
+        assert r.total_delay == n * (n - 1) // 2
+
+    def test_works_on_mesh_and_hypercube(self):
+        for g in (mesh_graph([3, 4]), hypercube_graph(3)):
+            r = run_sweep_counting(g, range(g.n))
+            assert sorted(r.counts.values()) == list(range(1, g.n + 1))
+
+    def test_explicit_order(self):
+        g = complete_graph(5)
+        r = run_sweep_counting(g, range(5), order=[4, 3, 2, 1, 0])
+        assert r.counts[4] == 1 and r.counts[0] == 5
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep_counting(path_graph(4), [1], order=[0, 2, 1, 3])
+
+    def test_no_hamilton_path_graph_rejected(self):
+        from repro.topology.base import TopologyError
+
+        with pytest.raises(TopologyError):
+            run_sweep_counting(star_graph(5), [1])
+
+    def test_random_subsets_valid(self):
+        rng = random.Random(8)
+        for _ in range(15):
+            n = rng.randint(2, 30)
+            g = complete_graph(n)
+            req = rng.sample(range(n), rng.randint(1, n))
+            r = run_sweep_counting(g, req)
+            assert sorted(r.counts.values()) == list(range(1, len(set(req)) + 1))

@@ -1,0 +1,74 @@
+"""Sweep-token queuing: the naive-queuing contrast for E14."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.arrow import run_arrow
+from repro.core.comparison import growth_exponent
+from repro.core.verify import verify_queuing
+from repro.counting import run_sweep_queuing
+from repro.sim import Node, run_protocol
+from repro.topology import complete_graph, mesh_graph, path_graph
+from repro.topology.spanning import path_spanning_tree
+
+
+class TestSweepQueuing:
+    def test_chain_follows_path_order(self):
+        r = run_sweep_queuing(path_graph(5), range(5))
+        chain = verify_queuing(range(5), r.predecessors, tail=0)
+        assert [op[1] for op in chain] == [0, 1, 2, 3, 4]
+
+    def test_subset(self):
+        r = run_sweep_queuing(path_graph(8), [2, 5])
+        assert r.predecessors[("op", 2)] == ("init", 0)
+        assert r.predecessors[("op", 5)] == ("op", 2)
+
+    def test_quadratic_total(self):
+        ns = [8, 16, 32]
+        totals = [
+            run_sweep_queuing(complete_graph(n), range(n)).total_delay for n in ns
+        ]
+        assert growth_exponent(ns, totals) > 1.7
+
+    def test_arrow_beats_it_on_same_tree(self):
+        n = 32
+        g = complete_graph(n)
+        naive = run_sweep_queuing(g, range(n))
+        arrow = run_arrow(path_spanning_tree(g), range(n))
+        assert arrow.total_delay < naive.total_delay / 4
+
+    def test_on_mesh(self):
+        g = mesh_graph([3, 4])
+        r = run_sweep_queuing(g, range(12))
+        assert len(verify_queuing(range(12), r.predecessors, tail=0)) == 12
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep_queuing(path_graph(4), [1], order=[0, 2, 1, 3])
+
+    def test_random_subsets(self):
+        rng = random.Random(3)
+        for _ in range(12):
+            n = rng.randint(2, 24)
+            g = complete_graph(n)
+            req = rng.sample(range(n), rng.randint(1, n))
+            r = run_sweep_queuing(g, req)
+            verify_queuing(req, r.predecessors, tail=0)
+
+
+class TestRunProtocolHelper:
+    def test_run_protocol_returns_finished_network(self):
+        class Ping(Node):
+            def on_start(self, ctx):
+                if self.node_id == 0:
+                    ctx.send(1, "ping")
+
+            def on_receive(self, msg, ctx):
+                ctx.complete("pong")
+
+        net = run_protocol(path_graph(2), {0: Ping(0), 1: Ping(1)})
+        assert net.stats.rounds == 1
+        assert net.delays.delay_by_op() == {"pong": 1}

@@ -1,0 +1,100 @@
+"""Hamilton-path constructions (Lemma 4.6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import (
+    complete_graph,
+    hamilton_path_complete,
+    hamilton_path_hypercube,
+    hamilton_path_mesh,
+    hamilton_path_of,
+    hypercube_graph,
+    is_hamilton_path,
+    mesh_graph,
+    path_graph,
+    star_graph,
+)
+from repro.topology.base import TopologyError
+from repro.topology.hamilton import find_hamilton_path
+
+
+class TestConstructions:
+    @pytest.mark.parametrize("n", [1, 2, 5, 12])
+    def test_complete(self, n):
+        order = hamilton_path_complete(n)
+        assert is_hamilton_path(complete_graph(n), order)
+
+    @pytest.mark.parametrize(
+        "dims", [[4], [2, 3], [3, 3], [4, 5], [2, 2, 2], [3, 2, 4], [2, 3, 2, 2]]
+    )
+    def test_mesh_boustrophedon(self, dims):
+        order = hamilton_path_mesh(dims)
+        assert is_hamilton_path(mesh_graph(dims), order)
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 4, 6])
+    def test_hypercube_gray_code(self, d):
+        order = hamilton_path_hypercube(d)
+        assert is_hamilton_path(hypercube_graph(d), order)
+
+    def test_invalid_args(self):
+        with pytest.raises(TopologyError):
+            hamilton_path_complete(0)
+        with pytest.raises(TopologyError):
+            hamilton_path_mesh([])
+        with pytest.raises(TopologyError):
+            hamilton_path_hypercube(0)
+
+
+class TestValidation:
+    def test_rejects_wrong_vertex_set(self):
+        g = complete_graph(4)
+        assert not is_hamilton_path(g, [0, 1, 2])
+        assert not is_hamilton_path(g, [0, 1, 2, 2])
+
+    def test_rejects_non_edges(self):
+        g = path_graph(4)
+        assert not is_hamilton_path(g, [0, 2, 1, 3])
+        assert is_hamilton_path(g, [0, 1, 2, 3])
+        assert is_hamilton_path(g, [3, 2, 1, 0])
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "g",
+        [
+            complete_graph(6),
+            mesh_graph([3, 4]),
+            hypercube_graph(3),
+            path_graph(9),
+        ],
+    )
+    def test_recognised_families(self, g):
+        assert is_hamilton_path(g, hamilton_path_of(g))
+
+    def test_fallback_search_on_ring(self):
+        from repro.topology import ring_graph
+
+        g = ring_graph(8)
+        assert is_hamilton_path(g, hamilton_path_of(g))
+
+    def test_star_has_no_hamilton_path(self):
+        with pytest.raises(TopologyError):
+            hamilton_path_of(star_graph(5))
+
+
+class TestBacktracking:
+    def test_finds_on_small_graphs(self):
+        g = mesh_graph([2, 3])
+        order = find_hamilton_path(g)
+        assert order is not None and is_hamilton_path(g, order)
+
+    def test_none_when_absent(self):
+        assert find_hamilton_path(star_graph(4)) is None
+
+    def test_single_vertex(self):
+        from repro.topology.base import Graph
+
+        g = Graph.from_edges(1, [])
+        assert find_hamilton_path(g) == [0]

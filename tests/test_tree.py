@@ -1,0 +1,181 @@
+"""RootedTree: construction, LCA, distances, paths, traversals."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from helpers import random_tree, tree_as_graph
+from repro.topology.properties import bfs_distances
+from repro.tree import (
+    RootedTree,
+    TreeError,
+    dfs_preorder,
+    euler_tour,
+    leaves_of,
+    subtree_sizes,
+)
+
+
+class TestConstruction:
+    def test_single_vertex(self):
+        t = RootedTree([0])
+        assert t.n == 1 and t.root == 0 and t.height() == 0
+
+    def test_parent_list(self):
+        t = RootedTree([0, 0, 0, 1, 1])
+        assert t.root == 0
+        assert t.children[0] == (1, 2)
+        assert t.children[1] == (3, 4)
+        assert t.depth == (0, 1, 1, 2, 2)
+
+    def test_parent_mapping(self):
+        t = RootedTree({0: 0, 1: 0, 2: 1})
+        assert t.depth[2] == 2
+
+    def test_missing_vertex_in_mapping(self):
+        with pytest.raises(TreeError):
+            RootedTree({0: 0, 2: 0})
+
+    def test_no_root_rejected(self):
+        with pytest.raises(TreeError):
+            RootedTree([1, 0])  # two roots? 0->1, 1->0 is a cycle, no self-parent
+
+    def test_two_roots_rejected(self):
+        with pytest.raises(TreeError):
+            RootedTree([0, 1, 0])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(TreeError):
+            RootedTree([0, 2, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(TreeError):
+            RootedTree([])
+
+    def test_from_path(self):
+        t = RootedTree.from_path([3, 1, 0, 2])
+        assert t.root == 3
+        assert t.parent[1] == 3 and t.parent[0] == 1 and t.parent[2] == 0
+        assert t.height() == 3
+
+    def test_from_edges(self):
+        t = RootedTree.from_edges(4, [(0, 1), (1, 2), (1, 3)], root=1)
+        assert t.root == 1
+        assert sorted(t.children[1]) == [0, 2, 3]
+
+    def test_from_edges_wrong_count(self):
+        with pytest.raises(TreeError):
+            RootedTree.from_edges(4, [(0, 1), (1, 2)])
+
+    def test_from_edges_disconnected(self):
+        with pytest.raises(TreeError):
+            RootedTree.from_edges(4, [(0, 1), (0, 1), (2, 3)])
+
+
+class TestQueries:
+    def make(self):
+        #        0
+        #      /   \
+        #     1     2
+        #    / \     \
+        #   3   4     5
+        #  /
+        # 6
+        return RootedTree([0, 0, 0, 1, 1, 2, 3])
+
+    def test_lca(self):
+        t = self.make()
+        assert t.lca(3, 4) == 1
+        assert t.lca(6, 4) == 1
+        assert t.lca(6, 5) == 0
+        assert t.lca(2, 5) == 2
+        assert t.lca(0, 6) == 0
+        assert t.lca(4, 4) == 4
+
+    def test_distance(self):
+        t = self.make()
+        assert t.distance(6, 5) == 5
+        assert t.distance(3, 4) == 2
+        assert t.distance(0, 0) == 0
+        assert t.distance(6, 6) == 0
+
+    def test_path(self):
+        t = self.make()
+        assert t.path(6, 5) == [6, 3, 1, 0, 2, 5]
+        assert t.path(4, 4) == [4]
+        assert t.path(0, 6) == [0, 1, 3, 6]
+
+    def test_ancestor(self):
+        t = self.make()
+        assert t.ancestor(6, 1) == 3
+        assert t.ancestor(6, 3) == 0
+        assert t.ancestor(6, 99) == 0  # clamped at root
+
+    def test_degree(self):
+        t = self.make()
+        assert t.degree(0) == 2
+        assert t.degree(1) == 3
+        assert t.degree(6) == 1
+        assert t.max_degree() == 3
+
+    def test_edges(self):
+        t = self.make()
+        assert sorted(t.edges()) == [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (3, 6)]
+
+    def test_distance_matches_bfs_on_random_trees(self):
+        rng = random.Random(11)
+        for trial in range(20):
+            n = rng.randint(2, 40)
+            t = random_tree(n, seed=trial)
+            g = tree_as_graph(t)
+            src = rng.randrange(n)
+            dist = bfs_distances(g, src)
+            for v in range(n):
+                assert t.distance(src, v) == dist[v]
+
+
+class TestTraversal:
+    def test_preorder(self):
+        t = RootedTree([0, 0, 0, 1, 1, 2, 3])
+        assert dfs_preorder(t) == [0, 1, 3, 6, 4, 2, 5]
+
+    def test_euler_tour_length_and_endpoints(self):
+        t = random_tree(15, seed=3)
+        tour = euler_tour(t)
+        assert len(tour) == 2 * t.n - 1
+        assert tour[0] == t.root and tour[-1] == t.root
+
+    def test_euler_tour_steps_are_edges(self):
+        t = random_tree(25, seed=4)
+        edge_set = {frozenset(e) for e in t.edges()}
+        tour = euler_tour(t)
+        for a, b in zip(tour, tour[1:]):
+            assert frozenset((a, b)) in edge_set
+
+    def test_euler_tour_each_edge_twice(self):
+        from collections import Counter
+
+        t = random_tree(12, seed=5)
+        tour = euler_tour(t)
+        counts = Counter(frozenset(p) for p in zip(tour, tour[1:]))
+        assert all(c == 2 for c in counts.values())
+        assert len(counts) == t.n - 1
+
+    def test_leaves(self):
+        t = RootedTree([0, 0, 0, 1, 1, 2, 3])
+        assert leaves_of(t) == [4, 5, 6]
+
+    def test_subtree_sizes(self):
+        t = RootedTree([0, 0, 0, 1, 1, 2, 3])
+        sizes = subtree_sizes(t)
+        assert sizes[0] == 7
+        assert sizes[1] == 4
+        assert sizes[2] == 2
+        assert sizes[6] == 1
+
+    def test_single_vertex_tour(self):
+        t = RootedTree([0])
+        assert euler_tour(t) == [0]
+        assert dfs_preorder(t) == [0]
