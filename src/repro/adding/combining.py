@@ -76,7 +76,16 @@ class _AddNode(Node):
         ``down``: payload = base prefix sum for the subtree.
     """
 
-    __slots__ = ("parent", "children", "delta", "participating", "pending", "child_sums", "subtotal")
+    __slots__ = (
+        "parent",
+        "children",
+        "delta",
+        "participating",
+        "pending",
+        "child_sums",
+        "subtotal",
+        "completed",
+    )
 
     def __init__(
         self,
@@ -93,6 +102,7 @@ class _AddNode(Node):
         self.pending = len(children)
         self.child_sums: dict[int, tuple[int, bool]] = {}
         self.subtotal = delta or 0
+        self.completed = False
 
     def _report_or_finish(self, ctx: NodeContext) -> None:
         if self.parent != self.node_id:
@@ -109,7 +119,8 @@ class _AddNode(Node):
 
     def _distribute(self, base: int, ctx: NodeContext) -> None:
         nxt = base
-        if self.participating:
+        if self.participating and not self.completed:
+            self.completed = True
             ctx.complete(self.node_id, result=nxt)
             nxt += self.delta
         for c in self.children:

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 from typing import Hashable, Iterable
 
 from repro.arrow.protocol import ArrowNode, init_op
-from repro.sim import RunStats, SynchronousNetwork
+from repro.sim import DelayModel, EventTrace, RunStats, SynchronousNetwork
 from repro.topology.spanning import SpanningTree
 
 
@@ -76,8 +76,10 @@ def run_arrow(
     *,
     tail: int | None = None,
     capacity: int | None = None,
-    delay_model=None,
+    delay_model: DelayModel | None = None,
     max_rounds: int = 10_000_000,
+    trace: EventTrace | None = None,
+    strict: bool = False,
 ) -> ArrowResult:
     """Run the one-shot concurrent arrow protocol.
 
@@ -94,6 +96,9 @@ def run_arrow(
         delay_model: per-message link-delay model (default: the paper's
             unit delay; see :mod:`repro.sim.delays` for async adversaries).
         max_rounds: engine safety limit.
+        trace: optional :class:`EventTrace` recording engine events (used
+            by the determinism sanitizer).
+        strict: enable the engine's strict per-round budget assertions.
 
     Returns:
         An :class:`ArrowResult` with per-operation delays and the induced
@@ -132,6 +137,8 @@ def run_arrow(
         send_capacity=capacity,
         recv_capacity=capacity,
         delay_model=delay_model,
+        trace=trace,
+        strict=strict,
     )
     stats = net.run(max_rounds=max_rounds)
 

@@ -8,11 +8,17 @@ Usage::
     python -m repro run all --scale test
     python -m repro arrow --graph complete --n 32
     python -m repro count --graph mesh --n 36 --algorithm combining
+    python -m repro count --graph star --n 16 --algorithm central --sanitize
+    python -m repro lint src/repro --format json
 
 ``run`` executes experiments from the suite (test-scale defaults or the
 larger ``--scale bench`` parameterisations) and prints the regenerated
 tables; ``arrow``/``count`` run a single protocol and print its delays —
-handy for quick exploration.
+handy for quick exploration.  ``lint`` statically checks protocol
+implementations against the model rules (see ``docs/LINT.md``);
+``--sanitize`` replays a protocol run and diffs the event traces to catch
+nondeterminism; ``--strict`` makes the engine raise on any per-round
+send/receive budget overrun instead of queuing.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import time
 from typing import Callable
 
 from repro.experiments import ALL_EXPERIMENTS, render_experiment
+from repro.sim.errors import StrictModeViolation
 
 
 def _bench_scale() -> dict[str, Callable]:
@@ -136,11 +143,19 @@ def cmd_arrow(args: argparse.Namespace) -> int:
         st = path_spanning_tree(g)
     except Exception:
         st = bfs_spanning_tree(g)
-    res = run_arrow(st, range(g.n))
+    try:
+        res = run_arrow(st, range(g.n), strict=args.strict)
+    except StrictModeViolation as exc:
+        print(f"strict mode violation: {exc}")
+        return 1
     print(f"{g.name}: arrow on {st.label} tree")
     print(f"  total delay : {res.total_delay}")
     print(f"  max delay   : {res.max_delay}")
     print(f"  order       : {res.order()[:12]}{'...' if g.n > 12 else ''}")
+    if args.sanitize:
+        return _sanitize(
+            lambda trace: run_arrow(st, range(g.n), strict=args.strict, trace=trace)
+        )
     return 0
 
 
@@ -155,22 +170,50 @@ def cmd_count(args: argparse.Namespace) -> int:
     from repro.topology.spanning import bfs_spanning_tree
 
     g = _build_graph(args.graph, args.n)
-    if args.algorithm == "combining":
-        res = run_combining_counting(bfs_spanning_tree(g), range(g.n))
-    elif args.algorithm == "central":
-        res = run_central_counting(g, range(g.n))
-    elif args.algorithm == "flood":
-        res = run_flood_counting(g, range(g.n))
-    elif args.algorithm == "cnet":
-        res = run_counting_network(g, range(g.n))
-    elif args.algorithm == "periodic":
-        res = run_periodic_counting(g, range(g.n))
-    else:
+    runners = {
+        "combining": lambda **kw: run_combining_counting(
+            bfs_spanning_tree(g), range(g.n), **kw
+        ),
+        "central": lambda **kw: run_central_counting(g, range(g.n), **kw),
+        "flood": lambda **kw: run_flood_counting(g, range(g.n), **kw),
+        "cnet": lambda **kw: run_counting_network(g, range(g.n), **kw),
+        "periodic": lambda **kw: run_periodic_counting(g, range(g.n), **kw),
+    }
+    if args.algorithm not in runners:
         raise SystemExit(f"unknown algorithm {args.algorithm!r}")
+    runner = runners[args.algorithm]
+    try:
+        res = runner(strict=args.strict)
+    except StrictModeViolation as exc:
+        print(f"strict mode violation: {exc}")
+        return 1
     print(f"{g.name}: {res.algorithm}")
     print(f"  total delay : {res.total_delay}")
     print(f"  max delay   : {res.max_delay}")
+    if args.sanitize:
+        return _sanitize(lambda trace: runner(strict=args.strict, trace=trace))
     return 0
+
+
+def _sanitize(build_and_run) -> int:
+    """Replay a protocol run and diff the event traces; 0 iff identical."""
+    from repro.lint import check_determinism
+
+    report = check_determinism(build_and_run)
+    print(f"  sanitizer   : {report.describe()}")
+    return 0 if report.deterministic else 1
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import check_paths, render_json, render_text
+
+    try:
+        findings = check_paths(args.paths)
+    except (OSError, SyntaxError) as exc:
+        raise SystemExit(f"lint: cannot analyze: {exc}")
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(findings))
+    return 1 if findings else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -196,6 +239,10 @@ def build_parser() -> argparse.ArgumentParser:
     arrow.add_argument("--graph", default="complete",
                        choices=("complete", "path", "star", "mesh", "hypercube"))
     arrow.add_argument("--n", type=int, default=32)
+    arrow.add_argument("--sanitize", action="store_true",
+                       help="re-run and diff event traces for nondeterminism")
+    arrow.add_argument("--strict", action="store_true",
+                       help="raise on per-round send/receive budget overruns")
     arrow.set_defaults(func=cmd_arrow)
 
     count = sub.add_parser("count", help="run one counting algorithm once")
@@ -204,7 +251,20 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("--n", type=int, default=32)
     count.add_argument("--algorithm", default="combining",
                        choices=("combining", "central", "flood", "cnet", "periodic"))
+    count.add_argument("--sanitize", action="store_true",
+                       help="re-run and diff event traces for nondeterminism")
+    count.add_argument("--strict", action="store_true",
+                       help="raise on per-round send/receive budget overruns")
     count.set_defaults(func=cmd_count)
+
+    lint = sub.add_parser(
+        "lint", help="statically check protocol code against the model rules"
+    )
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories to analyze (default: src/repro)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="findings output format (default: text)")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -21,9 +21,14 @@ def verify_counting(requests: Iterable[int], counts: Mapping[int, int]) -> None:
     ``{1, 2, ..., |R|}`` and non-requesters must not receive one.
 
     Raises:
-        VerificationError: on any violation.
+        VerificationError: on any violation, including an empty request
+            set (the problem is defined for ``|R| >= 1``; an empty set
+            reaching a validator means the harness built a degenerate
+            instance).
     """
     req = set(requests)
+    if not req:
+        raise VerificationError("empty request set: nothing to count")
     got = set(counts)
     if got != req:
         extra = sorted(got - req)[:5]
@@ -53,10 +58,13 @@ def verify_queuing(
         The operations in queue order (excluding the dummy).
 
     Raises:
-        VerificationError: on a missing operation, a fork (two operations
-            with the same predecessor), or a cycle.
+        VerificationError: on an empty request set, a missing operation,
+            a fork (two operations with the same predecessor), or a
+            cycle.
     """
     req = set(requests)
+    if not req:
+        raise VerificationError("empty request set: nothing to queue")
     ops = {("op", v) for v in req}
     if set(predecessors) != ops:
         raise VerificationError(

@@ -20,7 +20,14 @@ from typing import Hashable, Iterable
 
 from repro.core.problem import CountingResult, QueuingResult
 from repro.core.verify import verify_counting, verify_queuing
-from repro.sim import Message, Node, NodeContext, SynchronousNetwork
+from repro.sim import (
+    DelayModel,
+    EventTrace,
+    Message,
+    Node,
+    NodeContext,
+    SynchronousNetwork,
+)
 from repro.topology.base import Graph
 from repro.topology.properties import bfs_distances
 
@@ -134,7 +141,9 @@ def _run_central(
     root: int,
     mode: str,
     max_rounds: int,
-    delay_model=None,
+    delay_model: DelayModel | None = None,
+    trace: EventTrace | None = None,
+    strict: bool = False,
 ) -> tuple[dict[int, Hashable], dict[int, int], SynchronousNetwork]:
     req = sorted(set(requests))
     next_hop, down_paths = _routing(graph, root)
@@ -151,7 +160,13 @@ def _run_central(
     }
     nodes[root]._down_paths = down_paths
     net = SynchronousNetwork(
-        graph, nodes, send_capacity=1, recv_capacity=1, delay_model=delay_model
+        graph,
+        nodes,
+        send_capacity=1,
+        recv_capacity=1,
+        delay_model=delay_model,
+        trace=trace,
+        strict=strict,
     )
     net.run(max_rounds=max_rounds)
     return net.delays.result_by_op(), net.delays.delay_by_op(), net
@@ -163,7 +178,9 @@ def run_central_counting(
     *,
     root: int = 0,
     max_rounds: int = 50_000_000,
-    delay_model=None,
+    delay_model: DelayModel | None = None,
+    trace: EventTrace | None = None,
+    strict: bool = False,
 ) -> CountingResult:
     """Run central-counter counting; output verified before returning.
 
@@ -172,10 +189,13 @@ def run_central_counting(
         requests: requesting vertices.
         root: the vertex holding the counter.
         max_rounds: engine safety limit.
+        delay_model: optional link-delay model.
+        trace: optional :class:`EventTrace` recording engine events.
+        strict: enable the engine's strict per-round budget assertions.
     """
     req = tuple(sorted(set(requests)))
     results, delays, net = _run_central(
-        graph, req, root, "count", max_rounds, delay_model
+        graph, req, root, "count", max_rounds, delay_model, trace, strict
     )
     counts = {v: int(c) for v, c in results.items()}
     verify_counting(req, counts)

@@ -26,7 +26,14 @@ from typing import Iterable
 
 from repro.core.problem import CountingResult
 from repro.core.verify import verify_counting
-from repro.sim import Message, Node, NodeContext, SynchronousNetwork
+from repro.sim import (
+    DelayModel,
+    EventTrace,
+    Message,
+    Node,
+    NodeContext,
+    SynchronousNetwork,
+)
 from repro.topology.spanning import SpanningTree
 
 
@@ -46,6 +53,7 @@ class _CombiningNode(Node):
         "pending",
         "child_counts",
         "subtotal",
+        "completed",
     )
 
     def __init__(
@@ -58,6 +66,7 @@ class _CombiningNode(Node):
         self.pending = len(children)
         self.child_counts: dict[int, int] = {}
         self.subtotal = 1 if requesting else 0
+        self.completed = False
 
     def _report_or_finish(self, ctx: NodeContext) -> None:
         """Send the aggregate up, or start distribution if this is the root."""
@@ -69,7 +78,8 @@ class _CombiningNode(Node):
     def _distribute(self, base: int, ctx: NodeContext) -> None:
         """Assign ranks ``base+1..base+subtotal`` to this subtree."""
         nxt = base
-        if self.requesting:
+        if self.requesting and not self.completed:
+            self.completed = True
             nxt += 1
             ctx.complete(self.node_id, result=nxt)
         for c in self.children:
@@ -101,7 +111,9 @@ def run_combining_counting(
     *,
     capacity: int = 1,
     max_rounds: int = 50_000_000,
-    delay_model=None,
+    delay_model: DelayModel | None = None,
+    trace: EventTrace | None = None,
+    strict: bool = False,
 ) -> CountingResult:
     """Run combining-tree counting on a spanning tree; output verified.
 
@@ -131,6 +143,8 @@ def run_combining_counting(
         send_capacity=capacity,
         recv_capacity=capacity,
         delay_model=delay_model,
+        trace=trace,
+        strict=strict,
     )
     net.run(max_rounds=max_rounds)
     counts = {v: int(c) for v, c in net.delays.result_by_op().items()}

@@ -25,7 +25,14 @@ from typing import Iterable
 
 from repro.core.problem import CountingResult
 from repro.core.verify import verify_counting
-from repro.sim import Message, Node, NodeContext, SynchronousNetwork
+from repro.sim import (
+    DelayModel,
+    EventTrace,
+    Message,
+    Node,
+    NodeContext,
+    SynchronousNetwork,
+)
 from repro.topology.base import Graph
 
 
@@ -111,14 +118,22 @@ def run_flood_counting(
     requests: Iterable[int],
     *,
     max_rounds: int = 50_000_000,
-    delay_model=None,
+    delay_model: DelayModel | None = None,
+    trace: EventTrace | None = None,
+    strict: bool = False,
 ) -> CountingResult:
     """Run flood-and-rank counting on any connected graph; output verified."""
     req = tuple(sorted(set(requests)))
     req_set = set(req)
     nodes = {v: _FloodNode(v, requesting=(v in req_set)) for v in graph.vertices()}
     net = SynchronousNetwork(
-        graph, nodes, send_capacity=1, recv_capacity=1, delay_model=delay_model
+        graph,
+        nodes,
+        send_capacity=1,
+        recv_capacity=1,
+        delay_model=delay_model,
+        trace=trace,
+        strict=strict,
     )
     net.run(max_rounds=max_rounds)
     counts = {v: int(c) for v, c in net.delays.result_by_op().items()}

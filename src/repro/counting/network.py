@@ -30,7 +30,14 @@ from typing import Iterable
 
 from repro.core.problem import CountingResult
 from repro.core.verify import verify_counting
-from repro.sim import Message, Node, NodeContext, SynchronousNetwork
+from repro.sim import (
+    DelayModel,
+    EventTrace,
+    Message,
+    Node,
+    NodeContext,
+    SynchronousNetwork,
+)
 from repro.topology.base import Graph
 from repro.topology.properties import bfs_distances
 
@@ -383,7 +390,9 @@ def run_counting_network(
     *,
     width: int | None = None,
     max_rounds: int = 50_000_000,
-    delay_model=None,
+    delay_model: DelayModel | None = None,
+    trace: EventTrace | None = None,
+    strict: bool = False,
 ) -> CountingResult:
     """Run bitonic-counting-network counting on a graph; output verified.
 
@@ -407,7 +416,13 @@ def run_counting_network(
         for v in graph.vertices()
     }
     net = SynchronousNetwork(
-        graph, nodes, send_capacity=1, recv_capacity=1, delay_model=delay_model
+        graph,
+        nodes,
+        send_capacity=1,
+        recv_capacity=1,
+        delay_model=delay_model,
+        trace=trace,
+        strict=strict,
     )
     net.run(max_rounds=max_rounds)
     counts = {v: int(c) for v, c in net.delays.result_by_op().items()}

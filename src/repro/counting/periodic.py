@@ -124,7 +124,9 @@ def run_periodic_counting(
     *,
     width: int | None = None,
     max_rounds: int = 50_000_000,
-    delay_model=None,
+    delay_model: DelayModel | None = None,
+    trace: EventTrace | None = None,
+    strict: bool = False,
 ) -> CountingResult:
     """Distributed counting through an embedded periodic network.
 
@@ -146,7 +148,13 @@ def run_periodic_counting(
         for v in graph.vertices()
     }
     net = SynchronousNetwork(
-        graph, nodes, send_capacity=1, recv_capacity=1, delay_model=delay_model
+        graph,
+        nodes,
+        send_capacity=1,
+        recv_capacity=1,
+        delay_model=delay_model,
+        trace=trace,
+        strict=strict,
     )
     net.run(max_rounds=max_rounds)
     counts = {v: int(c) for v, c in net.delays.result_by_op().items()}

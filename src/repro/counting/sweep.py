@@ -32,7 +32,7 @@ class _SweepNode(Node):
             the identifier of the last queued operation (queuing mode).
     """
 
-    __slots__ = ("requesting", "next_on_path", "mode")
+    __slots__ = ("requesting", "next_on_path", "mode", "completed")
 
     def __init__(
         self,
@@ -45,9 +45,11 @@ class _SweepNode(Node):
         self.requesting = requesting
         self.next_on_path = next_on_path
         self.mode = mode
+        self.completed = False
 
     def _pass(self, carried, ctx: NodeContext) -> None:
-        if self.requesting:
+        if self.requesting and not self.completed:
+            self.completed = True
             if self.mode == "count":
                 ctx.complete(self.node_id, result=carried)
                 carried += 1

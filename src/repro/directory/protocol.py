@@ -124,6 +124,8 @@ class _DirectoryNode(Node):
     # -- object lifecycle ------------------------------------------------------
 
     def _acquire(self, ctx: NodeContext) -> None:
+        if self.has_object:
+            return  # spurious second delivery; acquiring is idempotent
         self.has_object = True
         self.object_for = op_of(self.node_id)
         ctx.complete(op_of(self.node_id), result=ctx.now)

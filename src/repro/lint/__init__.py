@@ -1,0 +1,55 @@
+"""Static protocol-conformance analysis and runtime determinism checks.
+
+The simulator enforces the paper's Section 2.1 model while a run is in
+flight; this package enforces it *before* and *around* runs:
+
+* :mod:`repro.lint.checker` — an AST analyzer that flags model
+  violations (rules R1–R5, see :mod:`repro.lint.rules` and
+  ``docs/LINT.md``) in any :class:`repro.sim.Node` subclass without
+  executing it.  CLI: ``python -m repro lint [paths]``.
+* :mod:`repro.lint.sanitizer` — runs a protocol repeatedly (optionally
+  across interpreters with different hash seeds) and diffs the event
+  traces to catch nondeterminism the type of which static analysis can
+  only guess at.  CLI: ``--sanitize`` on ``python -m repro arrow/count``.
+
+Together with the opt-in ``strict=True`` mode of
+:class:`~repro.sim.network.SynchronousNetwork` (per-round budget
+assertions as messages are consumed), these are the repo's conformance
+tooling layer.
+"""
+
+from repro.lint.checker import (
+    ProtocolChecker,
+    check_file,
+    check_paths,
+    check_source,
+    iter_python_files,
+)
+from repro.lint.rules import RULES, Finding, Rule, render_json, render_text
+from repro.lint.sanitizer import (
+    SanitizerReport,
+    TraceDivergence,
+    check_determinism,
+    check_determinism_subprocess,
+    diff_fingerprints,
+    trace_fingerprint,
+)
+
+__all__ = [
+    "ProtocolChecker",
+    "check_file",
+    "check_paths",
+    "check_source",
+    "iter_python_files",
+    "RULES",
+    "Rule",
+    "Finding",
+    "render_text",
+    "render_json",
+    "SanitizerReport",
+    "TraceDivergence",
+    "check_determinism",
+    "check_determinism_subprocess",
+    "diff_fingerprints",
+    "trace_fingerprint",
+]

@@ -1,0 +1,243 @@
+"""Runtime determinism sanitizer: run a protocol twice, diff the traces.
+
+The engine's correctness story (and every delay number the experiments
+report) rests on runs being exactly reproducible: deliveries happen in
+deterministic ``(sent_at, seq)`` order, so the same protocol on the same
+input must produce the same event trace every time.  A protocol that
+iterates an unordered container, consults the global ``random`` state, or
+reads a clock can silently break that — the run still *completes*, the
+validators still pass, but the delays are no longer a function of the
+input.  The sanitizer makes such protocols fail loudly:
+
+* :func:`check_determinism` executes a builder callable several times in
+  the current process, recording an :class:`~repro.sim.trace.EventTrace`
+  per run, and reports the first event where any two traces diverge.
+  This catches unseeded randomness, clock reads, and id()-dependent
+  ordering.
+
+* :func:`check_determinism_subprocess` additionally re-executes the runs
+  in fresh interpreters with *different* ``PYTHONHASHSEED`` values.  Set
+  and (string-keyed) dict iteration orders are functions of the hash
+  seed, so hazards that are stable within one process — the classic
+  "works on my machine" nondeterminism — surface as a trace divergence
+  between seeds.
+
+Both return a :class:`SanitizerReport`; ``report.deterministic`` is the
+verdict and ``report.divergence`` pinpoints the first mismatching event.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.sim.trace import EventTrace
+
+#: One normalized trace event: (event kind, round, sorted data items).
+Fingerprint = list[tuple[str, int, list[tuple[str, str]]]]
+
+
+def trace_fingerprint(trace: EventTrace) -> Fingerprint:
+    """Reduce a trace to a comparable, JSON-stable event list.
+
+    Data values are rendered with ``repr`` so arbitrary payload-derived
+    fields (tuples, None, ints) compare reliably across process
+    boundaries.
+    """
+    return [
+        (e.kind, e.round, sorted((k, repr(v)) for k, v in e.data.items()))
+        for e in trace.events
+    ]
+
+
+@dataclass(frozen=True)
+class TraceDivergence:
+    """First point where two runs disagreed.
+
+    Attributes:
+        index: position in the event stream (0-based).
+        run_a: label of the first run (e.g. ``"run 0"`` or a hash seed).
+        run_b: label of the second run.
+        event_a: the event run A recorded at ``index`` (None = trace ended).
+        event_b: the event run B recorded at ``index`` (None = trace ended).
+    """
+
+    index: int
+    run_a: str
+    run_b: str
+    event_a: Any
+    event_b: Any
+
+    def describe(self) -> str:
+        return (
+            f"traces diverge at event {self.index}: "
+            f"{self.run_a} saw {self.event_a!r}, "
+            f"{self.run_b} saw {self.event_b!r}"
+        )
+
+
+@dataclass(frozen=True)
+class SanitizerReport:
+    """Outcome of a determinism check.
+
+    Attributes:
+        deterministic: True iff every run produced an identical trace.
+        runs: number of runs compared.
+        events: trace length of the reference run.
+        divergence: first mismatch, when ``deterministic`` is False.
+    """
+
+    deterministic: bool
+    runs: int
+    events: int
+    divergence: TraceDivergence | None = None
+
+    def describe(self) -> str:
+        if self.deterministic:
+            return (
+                f"deterministic: {self.runs} runs produced identical "
+                f"traces ({self.events} events)"
+            )
+        assert self.divergence is not None
+        return "NONDETERMINISTIC — " + self.divergence.describe()
+
+
+def diff_fingerprints(
+    a: Fingerprint, b: Fingerprint, label_a: str, label_b: str
+) -> TraceDivergence | None:
+    """First index where two fingerprints differ, or None if identical."""
+    for i, (ea, eb) in enumerate(zip(a, b)):
+        if ea != eb:
+            return TraceDivergence(i, label_a, label_b, ea, eb)
+    if len(a) != len(b):
+        i = min(len(a), len(b))
+        return TraceDivergence(
+            i, label_a, label_b,
+            a[i] if i < len(a) else None,
+            b[i] if i < len(b) else None,
+        )
+    return None
+
+
+def _compare_all(
+    fingerprints: Sequence[Fingerprint], labels: Sequence[str]
+) -> SanitizerReport:
+    reference = fingerprints[0]
+    for fp, label in zip(fingerprints[1:], labels[1:]):
+        div = diff_fingerprints(reference, fp, labels[0], label)
+        if div is not None:
+            return SanitizerReport(
+                deterministic=False,
+                runs=len(fingerprints),
+                events=len(reference),
+                divergence=div,
+            )
+    return SanitizerReport(
+        deterministic=True, runs=len(fingerprints), events=len(reference)
+    )
+
+
+def check_determinism(
+    build_and_run: Callable[[EventTrace], Any], *, runs: int = 2
+) -> SanitizerReport:
+    """Run a protocol ``runs`` times in-process and diff the traces.
+
+    Args:
+        build_and_run: callable that constructs a *fresh* protocol
+            instance (graph, nodes, network) and runs it to quiescence,
+            recording into the :class:`EventTrace` it is handed.  It must
+            not reuse node or network objects between calls — the whole
+            point is comparing independent executions.
+        runs: how many executions to compare (>= 2).
+    """
+    if runs < 2:
+        raise ValueError(f"need at least 2 runs to compare, got {runs}")
+    fingerprints: list[Fingerprint] = []
+    labels: list[str] = []
+    for i in range(runs):
+        trace = EventTrace()
+        build_and_run(trace)
+        fingerprints.append(trace_fingerprint(trace))
+        labels.append(f"run {i}")
+    return _compare_all(fingerprints, labels)
+
+
+# --------------------------------------------------------------------------
+# Cross-interpreter check (hash-seed perturbation)
+# --------------------------------------------------------------------------
+
+_CHILD_TEMPLATE = """\
+import json, sys
+sys.path[:0] = {paths}
+import importlib
+mod = importlib.import_module({module!r})
+trace = getattr(mod, {func!r})()
+events = [
+    [e.kind, e.round, sorted((k, repr(v)) for k, v in e.data.items())]
+    for e in trace.events
+]
+json.dump(events, sys.stdout)
+"""
+
+
+def check_determinism_subprocess(
+    spec: str,
+    *,
+    hash_seeds: Sequence[int] = (0, 1, 2, 3),
+    extra_sys_path: Sequence[str] = (),
+    timeout: float = 300.0,
+) -> SanitizerReport:
+    """Execute ``module:callable`` under several hash seeds and diff traces.
+
+    The callable must take no arguments and return the
+    :class:`EventTrace` of one complete protocol run.  Each execution
+    happens in a fresh interpreter started with a different
+    ``PYTHONHASHSEED``, so iteration order of sets and string-keyed
+    dicts differs between runs — exactly the hazard class the static R3
+    rule looks for, probed dynamically.
+
+    Args:
+        spec: ``"package.module:function"`` naming the trace producer.
+        hash_seeds: seeds to run under (>= 2 distinct values).
+        extra_sys_path: entries prepended to ``sys.path`` in the child
+            (e.g. a test-fixture directory).
+        timeout: per-run wall-clock limit in seconds.
+
+    Raises:
+        ValueError: on a malformed spec or too few seeds.
+        RuntimeError: if a child run fails.
+    """
+    if ":" not in spec:
+        raise ValueError(f"spec must be 'module:callable', got {spec!r}")
+    if len(set(hash_seeds)) < 2:
+        raise ValueError("need at least 2 distinct hash seeds")
+    module, func = spec.split(":", 1)
+    paths = list(extra_sys_path) + [p for p in sys.path if p]
+    code = _CHILD_TEMPLATE.format(paths=json.dumps(paths),
+                                  module=module, func=func)
+    fingerprints: list[Fingerprint] = []
+    labels: list[str] = []
+    for seed in hash_seeds:
+        env = dict(os.environ, PYTHONHASHSEED=str(seed))
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"sanitizer child (PYTHONHASHSEED={seed}) failed:\n"
+                f"{proc.stderr.strip()}"
+            )
+        raw = json.loads(proc.stdout)
+        fingerprints.append(
+            [(k, r, [tuple(item) for item in data]) for k, r, data in raw]
+        )
+        labels.append(f"PYTHONHASHSEED={seed}")
+    return _compare_all(fingerprints, labels)

@@ -101,14 +101,14 @@ class _DisseminationNode(Node):
             progressed = False
             if self.mode == "counting":
                 nxt = len(self.delivered_list) + 1
-                for sender, seq in list(self.pending.items()):
+                for sender, seq in sorted(self.pending.items()):
                     if seq == nxt:
                         self._deliver(sender, ctx)
                         progressed = True
                         break
             else:
                 delivered = set(self.delivered_list)
-                for sender, pred in list(self.pending.items()):
+                for sender, pred in sorted(self.pending.items()):
                     if pred is None or pred in delivered:
                         self._deliver(sender, ctx)
                         progressed = True

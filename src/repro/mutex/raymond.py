@@ -101,6 +101,8 @@ class _MutexNode(Node):
 
     def _acquire(self, ctx: NodeContext) -> None:
         """The token arrived for this node's own operation: enter the CS."""
+        if self.has_token:
+            return  # spurious second token; acquiring is idempotent
         self.has_token = True
         self.token_for = op_of(self.node_id)
         self.entry_round = ctx.now

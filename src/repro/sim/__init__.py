@@ -25,12 +25,19 @@ the tree degree; this changes delays by at most a constant factor, which
 is all the asymptotic statements need.
 """
 
-from repro.sim.delays import ConstantDelay, KindDelay, TargetedDelay, UniformDelay
+from repro.sim.delays import (
+    ConstantDelay,
+    DelayModel,
+    KindDelay,
+    TargetedDelay,
+    UniformDelay,
+)
 from repro.sim.errors import (
     SimulationError,
     CapacityError,
     RoundLimitExceeded,
     ProtocolViolation,
+    StrictModeViolation,
 )
 from repro.sim.message import Message
 from repro.sim.node import Node, NodeContext
@@ -41,6 +48,7 @@ from repro.sim.trace import EventTrace, TraceEvent
 
 __all__ = [
     "ConstantDelay",
+    "DelayModel",
     "UniformDelay",
     "TargetedDelay",
     "KindDelay",
@@ -48,6 +56,7 @@ __all__ = [
     "CapacityError",
     "RoundLimitExceeded",
     "ProtocolViolation",
+    "StrictModeViolation",
     "Message",
     "Node",
     "NodeContext",

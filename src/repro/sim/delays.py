@@ -18,11 +18,15 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.sim.message import Message
 
+#: A link-delay model: maps one message to its link delay in rounds (>= 1).
+DelayModel = Callable[[Message], int]
 
-def _det_uniform(seed: int, key: tuple, lo: int, hi: int) -> int:
+
+def _det_uniform(seed: int, key: tuple[object, ...], lo: int, hi: int) -> int:
     """Deterministic pseudo-uniform integer in ``[lo, hi]`` from a key."""
     h = hashlib.blake2b(repr((seed, key)).encode(), digest_size=8).digest()
     return lo + int.from_bytes(h, "big") % (hi - lo + 1)

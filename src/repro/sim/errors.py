@@ -35,3 +35,27 @@ class ProtocolViolation(SimulationError):
     of a node that is not part of the network, or completing the same
     operation twice.
     """
+
+
+class StrictModeViolation(ProtocolViolation):
+    """Raised in strict mode when a node exceeds a per-round budget.
+
+    The engine always *enforces* the capacities by queuing excess
+    messages; strict mode additionally *asserts* that no queuing was
+    needed — i.e. that the protocol genuinely sends at most
+    ``send_capacity`` and has at most ``recv_capacity`` messages ready
+    per node per round.  Protocols whose delay analysis assumes zero
+    contention (e.g. a combining tree on its own spanning tree) can opt
+    in to catch accidental budget overruns instead of silently absorbing
+    them as extra delay.
+    """
+
+    def __init__(self, node_id: int, round_: int, phase: str, budget: int) -> None:
+        self.node_id = node_id
+        self.round = round_
+        self.phase = phase
+        self.budget = budget
+        super().__init__(
+            f"strict mode: node {node_id} exceeded its per-round {phase} "
+            f"budget of {budget} in round {round_}"
+        )

@@ -28,8 +28,13 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
-from repro.sim.delays import ConstantDelay
-from repro.sim.errors import CapacityError, ProtocolViolation, RoundLimitExceeded
+from repro.sim.delays import ConstantDelay, DelayModel
+from repro.sim.errors import (
+    CapacityError,
+    ProtocolViolation,
+    RoundLimitExceeded,
+    StrictModeViolation,
+)
 from repro.sim.message import Message
 from repro.sim.metrics import DelayRecorder
 from repro.sim.node import Node, NodeContext
@@ -95,6 +100,10 @@ class SynchronousNetwork:
             delay; defaults to the paper's synchronous unit delay.  See
             :mod:`repro.sim.delays` for the asynchronous extensions.
         trace: optional :class:`EventTrace` to record engine events into.
+        strict: when true, exceeding a per-round send or receive budget
+            raises :class:`StrictModeViolation` instead of queuing the
+            excess.  Opt-in: contention-by-design protocols (the paper's
+            main subject) must leave this off.
 
     Typical use::
 
@@ -110,8 +119,9 @@ class SynchronousNetwork:
         *,
         send_capacity: int = 1,
         recv_capacity: int = 1,
-        delay_model=None,
+        delay_model: DelayModel | None = None,
         trace: EventTrace | None = None,
+        strict: bool = False,
     ) -> None:
         if send_capacity < 1:
             raise CapacityError(f"send_capacity must be >= 1, got {send_capacity}")
@@ -130,6 +140,9 @@ class SynchronousNetwork:
         self.delays = DelayRecorder()
         self.stats = RunStats()
         self.trace = trace
+        self.strict = strict
+        # Strict-mode send accounting: node -> (round, sends so far).
+        self._send_budget: dict[int, tuple[int, int]] = {}
 
         # Per directed link (u, v): FIFO queue of messages in transit or
         # waiting to be received at v.
@@ -209,6 +222,12 @@ class SynchronousNetwork:
     # ------------------------------------------------------------ engine
 
     def _enqueue_send(self, src: int, dst: int, kind: str, payload: Any) -> Message:
+        if self.strict:
+            last_round, count = self._send_budget.get(src, (-1, 0))
+            count = count + 1 if last_round == self.now else 1
+            self._send_budget[src] = (self.now, count)
+            if count > self.send_capacity:
+                raise StrictModeViolation(src, self.now, "send", self.send_capacity)
         msg = Message(src=src, dst=dst, kind=kind, payload=payload, seq=self._msg_seq)
         self._msg_seq += 1
         box = self._outbox.get(src)
@@ -296,6 +315,8 @@ class SynchronousNetwork:
                         "deliver", t, src=src, dst=v, kind=msg.kind, wait=msg.link_wait()
                     )
                 node.on_receive(msg, ctx)
+            if self.strict and heap and heap[0][0] <= t:
+                raise StrictModeViolation(v, t, "receive", self.recv_capacity)
 
     def _send_phase(self) -> None:
         t = self.now
@@ -331,6 +352,7 @@ def run_protocol(
     recv_capacity: int = 1,
     max_rounds: int = 1_000_000,
     trace: EventTrace | None = None,
+    strict: bool = False,
 ) -> SynchronousNetwork:
     """Convenience wrapper: build a network, run it, return it.
 
@@ -343,6 +365,7 @@ def run_protocol(
         send_capacity=send_capacity,
         recv_capacity=recv_capacity,
         trace=trace,
+        strict=strict,
     )
     net.run(max_rounds=max_rounds)
     return net

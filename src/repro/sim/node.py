@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.sim.errors import ProtocolViolation
 from repro.sim.message import Message
@@ -112,7 +112,7 @@ class Node:
         return f"{type(self).__name__}(node_id={self.node_id})"
 
 
-def make_nodes(factory, node_ids: Iterable[int]) -> dict[int, Node]:
+def make_nodes(factory: Callable[[int], Node], node_ids: Iterable[int]) -> dict[int, Node]:
     """Build a node map ``{id: factory(id)}`` for all ``node_ids``.
 
     A small convenience used by protocol runners.

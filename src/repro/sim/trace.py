@@ -54,16 +54,16 @@ class EventTrace:
         """All events of one kind, in order."""
         return [e for e in self.events if e.kind == kind]
 
-    def deliveries_per_node_round(self) -> Counter:
+    def deliveries_per_node_round(self) -> Counter[tuple[int, int]]:
         """Counter ``(node, round) -> deliveries`` for capacity checks."""
-        c: Counter = Counter()
+        c: Counter[tuple[int, int]] = Counter()
         for e in self.of_kind("deliver"):
             c[(e.data["dst"], e.round)] += 1
         return c
 
-    def sends_per_node_round(self) -> Counter:
+    def sends_per_node_round(self) -> Counter[tuple[int, int]]:
         """Counter ``(node, round) -> link entries`` for capacity checks."""
-        c: Counter = Counter()
+        c: Counter[tuple[int, int]] = Counter()
         for e in self.of_kind("send"):
             c[(e.data["src"], e.round)] += 1
         return c

@@ -1,0 +1,52 @@
+"""Deliberately nondeterministic protocol fixture.
+
+The hub iterates an *unsorted set of strings* to choose its send order —
+the iteration order is a function of ``PYTHONHASHSEED``, so two
+interpreters with different seeds enqueue the same messages in different
+orders.  The engine accepts the run silently (every message is delivered,
+every validator would pass); only the determinism sanitizer's
+cross-interpreter trace diff exposes it.
+"""
+
+from __future__ import annotations
+
+from repro.sim import EventTrace, Message, Node, NodeContext, SynchronousNetwork
+
+N = 9
+
+
+class NondetHub(Node):
+    """Sends one ping per leaf, in set-of-strings iteration order."""
+
+    def on_start(self, ctx: NodeContext) -> None:
+        labels = {f"peer-{u}" for u in ctx.neighbors}
+        for label in labels:
+            ctx.send(int(label.split("-")[1]), "ping", payload=label)
+
+    def on_receive(self, msg: Message, ctx: NodeContext) -> None:
+        pass
+
+
+class QuietLeaf(Node):
+    def on_receive(self, msg: Message, ctx: NodeContext) -> None:
+        pass
+
+
+def _star() -> dict[int, list[int]]:
+    graph: dict[int, list[int]] = {0: list(range(1, N))}
+    for v in range(1, N):
+        graph[v] = [0]
+    return graph
+
+
+def run_trace() -> EventTrace:
+    """One complete run on a star; returns its event trace."""
+    nodes: dict[int, Node] = {0: NondetHub(0)}
+    for v in range(1, N):
+        nodes[v] = QuietLeaf(v)
+    trace = EventTrace()
+    net = SynchronousNetwork(
+        _star(), nodes, send_capacity=N, recv_capacity=N, trace=trace
+    )
+    net.run(max_rounds=100)
+    return trace

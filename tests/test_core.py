@@ -26,6 +26,14 @@ class TestVerifyCounting:
     def test_valid(self):
         verify_counting([3, 5, 9], {3: 2, 5: 1, 9: 3})
 
+    def test_empty_request_set(self):
+        with pytest.raises(VerificationError, match="empty request set"):
+            verify_counting([], {})
+
+    def test_empty_requests_with_counts(self):
+        with pytest.raises(VerificationError):
+            verify_counting([], {1: 1})
+
     def test_wrong_recipients(self):
         with pytest.raises(VerificationError):
             verify_counting([1, 2], {1: 1, 3: 2})
@@ -69,6 +77,21 @@ class TestVerifyQueuing:
 
     def test_chain_not_anchored_at_tail(self):
         preds = {("op", 1): ("init", 9), ("op", 2): ("op", 1)}
+        with pytest.raises(VerificationError):
+            verify_queuing([1, 2], preds, tail=0)
+
+    def test_empty_request_set(self):
+        with pytest.raises(VerificationError, match="empty request set"):
+            verify_queuing([], {}, tail=0)
+
+    def test_duplicate_requests_collapse(self):
+        # Duplicate request ids denote one operation, not two.
+        preds = {("op", 1): ("init", 0)}
+        chain = verify_queuing([1, 1], preds, tail=0)
+        assert chain == [("op", 1)]
+
+    def test_self_cycle_detected(self):
+        preds = {("op", 1): ("init", 0), ("op", 2): ("op", 2)}
         with pytest.raises(VerificationError):
             verify_queuing([1, 2], preds, tail=0)
 
