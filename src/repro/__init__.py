@@ -18,6 +18,9 @@ This library implements the whole stack from scratch:
 * :mod:`repro.arrow` — the arrow queuing protocol (the upper-bound side);
 * :mod:`repro.counting` — four counting algorithms (central, combining
   tree, full-information gossip, bitonic counting network);
+* :mod:`repro.faults` — seeded fault injection (drops, duplicates, link
+  outages, crashes) and the reliable-delivery wrapper with ``run_*_ft``
+  fault-tolerant protocol variants;
 * :mod:`repro.tsp` — nearest-neighbour TSP tours and every Section-4
   bound;
 * :mod:`repro.bounds` — exact evaluation of every lower/upper-bound
@@ -61,6 +64,16 @@ from repro.counting import (
 )
 from repro.directory import run_object_directory
 from repro.experiments import ALL_EXPERIMENTS
+from repro.faults import (
+    FaultPlan,
+    LinkOutage,
+    NodeCrash,
+    RetryPolicy,
+    run_arrow_ft,
+    run_central_counting_ft,
+    run_flood_counting_ft,
+    wrap_reliable,
+)
 from repro.multicast import run_counting_multicast, run_queuing_multicast
 from repro.mutex import run_token_mutex
 from repro.sim import ConstantDelay, SynchronousNetwork, TargetedDelay, UniformDelay
@@ -106,6 +119,15 @@ __all__ = [
     "run_periodic_counting",
     "run_combining_addition",
     "run_central_addition",
+    # fault tolerance
+    "FaultPlan",
+    "LinkOutage",
+    "NodeCrash",
+    "RetryPolicy",
+    "wrap_reliable",
+    "run_arrow_ft",
+    "run_central_counting_ft",
+    "run_flood_counting_ft",
     # applications
     "run_object_directory",
     "run_counting_multicast",

@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable
 
 from repro.arrow.protocol import ArrowNode, init_op
-from repro.sim import DelayModel, EventTrace, RunStats, SynchronousNetwork
+from repro.sim import DelayModel, EventTrace, Node, RunStats, SynchronousNetwork
 from repro.topology.spanning import SpanningTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -80,6 +83,8 @@ def run_arrow(
     max_rounds: int = 10_000_000,
     trace: EventTrace | None = None,
     strict: bool = False,
+    node_wrapper: Callable[[Node], Node] | None = None,
+    faults: "FaultPlan | None" = None,
 ) -> ArrowResult:
     """Run the one-shot concurrent arrow protocol.
 
@@ -99,6 +104,11 @@ def run_arrow(
         trace: optional :class:`EventTrace` recording engine events (used
             by the determinism sanitizer).
         strict: enable the engine's strict per-round budget assertions.
+        node_wrapper: optional adapter applied to every protocol node
+            before the run (e.g. :func:`repro.faults.wrap_reliable`); the
+            per-operation results are still read off the inner nodes.
+        faults: optional :class:`repro.faults.FaultPlan` injected into
+            the engine.
 
     Returns:
         An :class:`ArrowResult` with per-operation delays and the induced
@@ -131,14 +141,18 @@ def run_arrow(
         v: ArrowNode(v, link=parent_toward_tail[v], requesting=(v in req_set))
         for v in range(tree.n)
     }
+    sim_nodes: dict[int, Node] = (
+        {v: node_wrapper(n) for v, n in nodes.items()} if node_wrapper else nodes
+    )
     net = SynchronousNetwork(
         spanning.as_graph(),
-        nodes,
+        sim_nodes,
         send_capacity=capacity,
         recv_capacity=capacity,
         delay_model=delay_model,
         trace=trace,
         strict=strict,
+        faults=faults,
     )
     stats = net.run(max_rounds=max_rounds)
 

@@ -9,6 +9,8 @@ Usage::
     python -m repro arrow --graph complete --n 32
     python -m repro count --graph mesh --n 36 --algorithm combining
     python -m repro count --graph star --n 16 --algorithm central --sanitize
+    python -m repro arrow --graph path --n 32 --faults drop=0.1,seed=7
+    python -m repro count --algorithm central --faults dup=0.05 --crash 3@10:20
     python -m repro lint src/repro --format json
 
 ``run`` executes experiments from the suite (test-scale defaults or the
@@ -19,6 +21,12 @@ implementations against the model rules (see ``docs/LINT.md``);
 ``--sanitize`` replays a protocol run and diffs the event traces to catch
 nondeterminism; ``--strict`` makes the engine raise on any per-round
 send/receive budget overrun instead of queuing.
+
+``--faults``/``--crash``/``--outage`` run the protocol under a seeded
+fault plan with the reliable-delivery wrapper (see ``docs/FAULTS.md``):
+``--faults`` takes ``drop=0.1,dup=0.05,seed=7,runs=3``; ``--crash``
+takes ``node@start:end`` (empty end = permanent) and ``--outage`` takes
+``u-v@start:end``, both repeatable.
 """
 
 from __future__ import annotations
@@ -134,6 +142,36 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _fault_plan(args: argparse.Namespace):
+    """The :class:`FaultPlan` requested on the command line, or ``None``."""
+    if not (args.faults or args.crash or args.outage):
+        return None
+    from repro.faults import FaultPlan
+
+    try:
+        plan = FaultPlan.parse(
+            args.faults or "", crashes=args.crash, outages=args.outage
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad fault spec: {exc}")
+    if args.strict:
+        raise SystemExit(
+            "--strict is incompatible with fault injection: acks and "
+            "retransmits legitimately exceed the per-round budgets"
+        )
+    return None if plan.is_empty() else plan
+
+
+def _print_fault_summary(plan, stats) -> None:
+    print(f"  fault plan  : {plan.describe()}")
+    print(f"  dropped     : {stats.messages_dropped}")
+    print(f"  duplicated  : {stats.messages_duplicated}")
+    print(f"  crashes     : {stats.node_crashes}")
+    if not plan.eventually_delivers():
+        print("  warning     : plan is not eventually-delivering; "
+              "completion was not guaranteed")
+
+
 def cmd_arrow(args: argparse.Namespace) -> int:
     from repro import run_arrow
     from repro.topology.spanning import bfs_spanning_tree, path_spanning_tree
@@ -143,8 +181,18 @@ def cmd_arrow(args: argparse.Namespace) -> int:
         st = path_spanning_tree(g)
     except Exception:
         st = bfs_spanning_tree(g)
+    plan = _fault_plan(args)
+    if plan is not None:
+        from repro.faults import run_arrow_ft
+
+        def runner(**kw):
+            return run_arrow_ft(st, range(g.n), plan, **kw)
+    else:
+        def runner(**kw):
+            return run_arrow(st, range(g.n), strict=args.strict, **kw)
+
     try:
-        res = run_arrow(st, range(g.n), strict=args.strict)
+        res = runner()
     except StrictModeViolation as exc:
         print(f"strict mode violation: {exc}")
         return 1
@@ -152,10 +200,10 @@ def cmd_arrow(args: argparse.Namespace) -> int:
     print(f"  total delay : {res.total_delay}")
     print(f"  max delay   : {res.max_delay}")
     print(f"  order       : {res.order()[:12]}{'...' if g.n > 12 else ''}")
+    if plan is not None:
+        _print_fault_summary(plan, res.stats)
     if args.sanitize:
-        return _sanitize(
-            lambda trace: run_arrow(st, range(g.n), strict=args.strict, trace=trace)
-        )
+        return _sanitize(lambda trace: runner(trace=trace))
     return 0
 
 
@@ -181,17 +229,40 @@ def cmd_count(args: argparse.Namespace) -> int:
     }
     if args.algorithm not in runners:
         raise SystemExit(f"unknown algorithm {args.algorithm!r}")
-    runner = runners[args.algorithm]
+    plan = _fault_plan(args)
+    if plan is not None:
+        from repro.faults import run_central_counting_ft, run_flood_counting_ft
+
+        ft_runners = {
+            "central": lambda **kw: run_central_counting_ft(
+                g, range(g.n), plan, **kw
+            ),
+            "flood": lambda **kw: run_flood_counting_ft(g, range(g.n), plan, **kw),
+        }
+        if args.algorithm not in ft_runners:
+            raise SystemExit(
+                f"fault injection supports algorithms "
+                f"{sorted(ft_runners)}, not {args.algorithm!r}"
+            )
+        runner = ft_runners[args.algorithm]
+    else:
+        base = runners[args.algorithm]
+
+        def runner(**kw):
+            return base(strict=args.strict, **kw)
+
     try:
-        res = runner(strict=args.strict)
+        res = runner()
     except StrictModeViolation as exc:
         print(f"strict mode violation: {exc}")
         return 1
     print(f"{g.name}: {res.algorithm}")
     print(f"  total delay : {res.total_delay}")
     print(f"  max delay   : {res.max_delay}")
+    if plan is not None:
+        _print_fault_summary(plan, res.stats)
     if args.sanitize:
-        return _sanitize(lambda trace: runner(strict=args.strict, trace=trace))
+        return _sanitize(lambda trace: runner(trace=trace))
     return 0
 
 
@@ -235,6 +306,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.set_defaults(func=cmd_run)
 
+    def add_fault_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--faults", default="", metavar="SPEC",
+            help="fault plan, e.g. drop=0.1,dup=0.05,seed=7,runs=3 "
+                 "(runs=inf unbounds consecutive drops)",
+        )
+        p.add_argument(
+            "--crash", action="append", default=[], metavar="N@S:E",
+            help="crash node N in rounds [S, E); empty E = permanent; "
+                 "repeatable",
+        )
+        p.add_argument(
+            "--outage", action="append", default=[], metavar="U-V@S:E",
+            help="take link {U, V} down in rounds [S, E); repeatable",
+        )
+
     arrow = sub.add_parser("arrow", help="run the arrow protocol once")
     arrow.add_argument("--graph", default="complete",
                        choices=("complete", "path", "star", "mesh", "hypercube"))
@@ -243,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-run and diff event traces for nondeterminism")
     arrow.add_argument("--strict", action="store_true",
                        help="raise on per-round send/receive budget overruns")
+    add_fault_args(arrow)
     arrow.set_defaults(func=cmd_arrow)
 
     count = sub.add_parser("count", help="run one counting algorithm once")
@@ -255,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-run and diff event traces for nondeterminism")
     count.add_argument("--strict", action="store_true",
                        help="raise on per-round send/receive budget overruns")
+    add_fault_args(count)
     count.set_defaults(func=cmd_count)
 
     lint = sub.add_parser(

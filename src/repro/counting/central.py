@@ -16,7 +16,7 @@ experiment.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable
 
 from repro.core.problem import CountingResult, QueuingResult
 from repro.core.verify import verify_counting, verify_queuing
@@ -30,6 +30,9 @@ from repro.sim import (
 )
 from repro.topology.base import Graph
 from repro.topology.properties import bfs_distances
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 
 class _CentralNode(Node):
@@ -144,6 +147,8 @@ def _run_central(
     delay_model: DelayModel | None = None,
     trace: EventTrace | None = None,
     strict: bool = False,
+    node_wrapper: Callable[[Node], Node] | None = None,
+    faults: "FaultPlan | None" = None,
 ) -> tuple[dict[int, Hashable], dict[int, int], SynchronousNetwork]:
     req = sorted(set(requests))
     next_hop, down_paths = _routing(graph, root)
@@ -159,14 +164,18 @@ def _run_central(
         for v in graph.vertices()
     }
     nodes[root]._down_paths = down_paths
+    sim_nodes: dict[int, Node] = (
+        {v: node_wrapper(n) for v, n in nodes.items()} if node_wrapper else nodes
+    )
     net = SynchronousNetwork(
         graph,
-        nodes,
+        sim_nodes,
         send_capacity=1,
         recv_capacity=1,
         delay_model=delay_model,
         trace=trace,
         strict=strict,
+        faults=faults,
     )
     net.run(max_rounds=max_rounds)
     return net.delays.result_by_op(), net.delays.delay_by_op(), net
@@ -181,6 +190,8 @@ def run_central_counting(
     delay_model: DelayModel | None = None,
     trace: EventTrace | None = None,
     strict: bool = False,
+    node_wrapper: Callable[[Node], Node] | None = None,
+    faults: "FaultPlan | None" = None,
 ) -> CountingResult:
     """Run central-counter counting; output verified before returning.
 
@@ -192,10 +203,15 @@ def run_central_counting(
         delay_model: optional link-delay model.
         trace: optional :class:`EventTrace` recording engine events.
         strict: enable the engine's strict per-round budget assertions.
+        node_wrapper: optional adapter applied to every protocol node
+            (e.g. :func:`repro.faults.wrap_reliable`).
+        faults: optional :class:`repro.faults.FaultPlan` injected into
+            the engine.
     """
     req = tuple(sorted(set(requests)))
     results, delays, net = _run_central(
-        graph, req, root, "count", max_rounds, delay_model, trace, strict
+        graph, req, root, "count", max_rounds, delay_model, trace, strict,
+        node_wrapper, faults,
     )
     counts = {v: int(c) for v, c in results.items()}
     verify_counting(req, counts)
@@ -214,6 +230,9 @@ def run_central_queuing(
     *,
     root: int = 0,
     max_rounds: int = 50_000_000,
+    delay_model: DelayModel | None = None,
+    trace: EventTrace | None = None,
+    strict: bool = False,
 ) -> QueuingResult:
     """Run central-server queuing (root returns each request's predecessor).
 
@@ -222,7 +241,9 @@ def run_central_queuing(
     counting and queuing cost the same.
     """
     req = tuple(sorted(set(requests)))
-    results, raw_delays, net = _run_central(graph, req, root, "queue", max_rounds)
+    results, raw_delays, net = _run_central(
+        graph, req, root, "queue", max_rounds, delay_model, trace, strict
+    )
     predecessors = {("op", v): pred for v, pred in results.items()}
     # Delays keyed by op id to match QueuingResult's convention.
     delays = {("op", v): d for v, d in raw_delays.items()}

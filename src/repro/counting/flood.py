@@ -21,7 +21,7 @@ all bits and have propagated them.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.core.problem import CountingResult
 from repro.core.verify import verify_counting
@@ -34,6 +34,9 @@ from repro.sim import (
     SynchronousNetwork,
 )
 from repro.topology.base import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 
 class _FloodNode(Node):
@@ -121,19 +124,25 @@ def run_flood_counting(
     delay_model: DelayModel | None = None,
     trace: EventTrace | None = None,
     strict: bool = False,
+    node_wrapper: Callable[[Node], Node] | None = None,
+    faults: "FaultPlan | None" = None,
 ) -> CountingResult:
     """Run flood-and-rank counting on any connected graph; output verified."""
     req = tuple(sorted(set(requests)))
     req_set = set(req)
     nodes = {v: _FloodNode(v, requesting=(v in req_set)) for v in graph.vertices()}
+    sim_nodes: dict[int, Node] = (
+        {v: node_wrapper(n) for v, n in nodes.items()} if node_wrapper else nodes
+    )
     net = SynchronousNetwork(
         graph,
-        nodes,
+        sim_nodes,
         send_capacity=1,
         recv_capacity=1,
         delay_model=delay_model,
         trace=trace,
         strict=strict,
+        faults=faults,
     )
     net.run(max_rounds=max_rounds)
     counts = {v: int(c) for v, c in net.delays.result_by_op().items()}

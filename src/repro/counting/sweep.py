@@ -19,7 +19,7 @@ from typing import Iterable, Sequence
 
 from repro.core.problem import CountingResult
 from repro.core.verify import verify_counting
-from repro.sim import Message, Node, NodeContext, SynchronousNetwork
+from repro.sim import EventTrace, Message, Node, NodeContext, SynchronousNetwork
 from repro.topology.base import Graph
 from repro.topology.hamilton import hamilton_path_of, is_hamilton_path
 
@@ -85,6 +85,8 @@ def run_sweep_counting(
     order: Sequence[int] | None = None,
     delay_model=None,
     max_rounds: int = 50_000_000,
+    trace: EventTrace | None = None,
+    strict: bool = False,
 ) -> CountingResult:
     """Run sweep-token counting along a Hamilton path; output verified.
 
@@ -95,6 +97,8 @@ def run_sweep_counting(
         order: an explicit Hamilton path to sweep along.
         delay_model: optional link-delay model.
         max_rounds: engine safety limit.
+        trace: optional :class:`EventTrace` recording engine events.
+        strict: enable the engine's strict per-round budget assertions.
     """
     if order is None:
         order = hamilton_path_of(graph)
@@ -111,7 +115,8 @@ def run_sweep_counting(
         cls = _SweepHead if v == order[0] else _SweepNode
         nodes[v] = cls(v, requesting=(v in req_set), next_on_path=nxt[v])
     net = SynchronousNetwork(
-        graph, nodes, send_capacity=1, recv_capacity=1, delay_model=delay_model
+        graph, nodes, send_capacity=1, recv_capacity=1,
+        delay_model=delay_model, trace=trace, strict=strict,
     )
     net.run(max_rounds=max_rounds)
     counts = {v: int(c) for v, c in net.delays.result_by_op().items()}
@@ -132,6 +137,8 @@ def run_sweep_queuing(
     order: Sequence[int] | None = None,
     delay_model=None,
     max_rounds: int = 50_000_000,
+    trace: EventTrace | None = None,
+    strict: bool = False,
 ):
     """Sweep-token *queuing*: the token carries the last queued op's id.
 
@@ -161,7 +168,8 @@ def run_sweep_queuing(
         cls = _SweepHead if v == order[0] else _SweepNode
         nodes[v] = cls(v, requesting=(v in req_set), next_on_path=nxt[v], mode="queue")
     net = SynchronousNetwork(
-        graph, nodes, send_capacity=1, recv_capacity=1, delay_model=delay_model
+        graph, nodes, send_capacity=1, recv_capacity=1,
+        delay_model=delay_model, trace=trace, strict=strict,
     )
     net.run(max_rounds=max_rounds)
     predecessors = net.delays.result_by_op()

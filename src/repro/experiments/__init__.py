@@ -29,6 +29,7 @@ from repro.experiments.suite import (
     run_e14_ablation_tree_choice,
     run_e15_ablation_counters,
     run_e16_longlived,
+    run_e21_fault_tolerance,
 )
 
 __all__ = [
@@ -53,4 +54,5 @@ __all__ = [
     "run_e14_ablation_tree_choice",
     "run_e15_ablation_counters",
     "run_e16_longlived",
+    "run_e21_fault_tolerance",
 ]

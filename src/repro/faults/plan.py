@@ -1,0 +1,278 @@
+"""Seeded, composable fault plans for the synchronous engine.
+
+A :class:`FaultPlan` is a *pure description* of the faults one run should
+suffer: independent per-message drop and duplication probabilities,
+per-round link outage windows, and node crash/recovery schedules.  The
+plan carries no runtime state; the engine asks it for a
+:class:`~repro.faults.injector.FaultInjector`, which holds the seeded
+RNGs and per-link counters, so the same plan replayed on the same
+protocol instance yields the exact same execution.
+
+Two properties matter for the rest of the repo:
+
+* an **empty** plan (the default-constructed ``FaultPlan()``) produces no
+  injector at all — the engine takes its fault-free code paths and the
+  run is byte-for-byte identical to a run without a plan;
+* a plan is **eventually delivering** when every outage and crash window
+  is finite and drop runs are bounded (``max_consecutive_drops`` is not
+  ``None``): any message re-offered to a link often enough gets through,
+  which is what the reliable-delivery wrapper needs for liveness.
+
+The CLI grammar (see ``docs/FAULTS.md``) maps onto the same fields::
+
+    --faults drop=0.1,dup=0.05,seed=7,runs=3
+    --crash  3@10:20          (node 3 is down in rounds [10, 20))
+    --outage 1-2@5:15         (edge {1, 2} is down in rounds [5, 15))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class LinkOutage:
+    """One undirected link down-window.
+
+    Attributes:
+        u, v: the edge's endpoints (order irrelevant).
+        start: first round in which the link is down.
+        end: first round in which the link is up again (exclusive).  Must
+            be finite: an eternally dead link would make every plan
+            violate eventual delivery.
+    """
+
+    u: int
+    v: int
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise ValueError(f"outage edge ({self.u}, {self.v}) is a self-loop")
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(
+                f"outage window [{self.start}, {self.end}) is empty or negative"
+            )
+
+    @property
+    def edge(self) -> tuple[int, int]:
+        """The edge as a normalized (min, max) pair."""
+        return (min(self.u, self.v), max(self.u, self.v))
+
+    def down(self, round_: int) -> bool:
+        """Whether the link is down in ``round_``."""
+        return self.start <= round_ < self.end
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """One node crash window (fail-stop, state-preserving recovery).
+
+    While crashed the node neither sends, receives, nor wakes; its outbox
+    and inbound link queues are frozen, and deferred wakeups fire at
+    recovery.  ``end is None`` means the node never recovers — such plans
+    are legal but give up the liveness guarantee.
+
+    Attributes:
+        node: the crashing vertex.
+        start: first round of the crash.
+        end: first round the node is live again (exclusive), or ``None``
+            for a permanent crash.
+    """
+
+    node: int
+    start: int
+    end: int | None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"crash start {self.start} is negative")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError(
+                f"crash window [{self.start}, {self.end}) is empty"
+            )
+
+    def down(self, round_: int) -> bool:
+        """Whether the node is crashed in ``round_``."""
+        return self.start <= round_ and (self.end is None or round_ < self.end)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, seeded composition of message and node faults.
+
+    Attributes:
+        seed: seeds the drop and duplication RNG streams; two runs of the
+            same protocol under the same plan are identical executions.
+        drop_rate: probability that a message is lost when it enters a
+            link (after consuming the sender's per-round send slot).
+        duplicate_rate: probability that a message entering a link is
+            accompanied by an identical copy one queue slot behind it.
+        max_consecutive_drops: upper bound on randomly dropped messages
+            *in a row per directed link*; after that many consecutive
+            losses the next message is force-delivered.  ``None`` removes
+            the bound (and with it the eventual-delivery guarantee).
+            Outage losses do not count toward the run — outages are
+            bounded by their own finite windows.
+        outages: link down-windows, applied to both directions of the
+            edge at link-entry time (messages already in transit on the
+            link are not affected).
+        crashes: node crash/recovery windows.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    max_consecutive_drops: int | None = 3
+    outages: tuple[LinkOutage, ...] = field(default_factory=tuple)
+    crashes: tuple[NodeCrash, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1), got {self.drop_rate}")
+        if not 0.0 <= self.duplicate_rate < 1.0:
+            raise ValueError(
+                f"duplicate_rate must be in [0, 1), got {self.duplicate_rate}"
+            )
+        if self.max_consecutive_drops is not None and self.max_consecutive_drops < 1:
+            raise ValueError("max_consecutive_drops must be >= 1 or None")
+        object.__setattr__(self, "outages", tuple(self.outages))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+
+    # ------------------------------------------------------------- queries
+
+    def is_empty(self) -> bool:
+        """True when this plan injects nothing at all.
+
+        The engine skips every fault hook for an empty plan, so a run
+        under ``FaultPlan()`` reproduces a plain run byte for byte.
+        """
+        return (
+            self.drop_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and not self.outages
+            and not self.crashes
+        )
+
+    def eventually_delivers(self) -> bool:
+        """Whether every message re-offered often enough gets through.
+
+        Requires bounded drop runs, finite outage windows (enforced by
+        :class:`LinkOutage`), and finite crash windows.  This is the
+        hypothesis under which the reliable wrapper guarantees that
+        wrapped protocols still complete.
+        """
+        if self.drop_rate > 0.0 and self.max_consecutive_drops is None:
+            return False
+        return all(c.end is not None for c in self.crashes)
+
+    def injector(self):
+        """Build the runtime fault state for one run.
+
+        Returns ``None`` for an empty plan so the engine keeps its exact
+        fault-free code paths.
+        """
+        if self.is_empty():
+            return None
+        from repro.faults.injector import FaultInjector
+
+        return FaultInjector(self)
+
+    # ------------------------------------------------------------- parsing
+
+    @classmethod
+    def parse(
+        cls,
+        spec: str = "",
+        *,
+        crashes: Iterable[str] = (),
+        outages: Iterable[str] = (),
+    ) -> "FaultPlan":
+        """Build a plan from the CLI grammar.
+
+        ``spec`` is a comma-separated ``key=value`` list with keys
+        ``drop``, ``dup``, ``seed``, and ``runs`` (the consecutive-drop
+        bound; ``runs=inf`` removes it).  Each ``crashes`` item is
+        ``node@start:end`` (``end`` empty for a permanent crash); each
+        ``outages`` item is ``u-v@start:end``.
+
+        Raises:
+            ValueError: on any malformed field.
+        """
+        kwargs: dict = {}
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            if "=" not in part:
+                raise ValueError(f"malformed fault spec field {part!r}")
+            key, _, value = part.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key == "drop":
+                kwargs["drop_rate"] = float(value)
+            elif key == "dup":
+                kwargs["duplicate_rate"] = float(value)
+            elif key == "seed":
+                kwargs["seed"] = int(value)
+            elif key == "runs":
+                kwargs["max_consecutive_drops"] = (
+                    None if value == "inf" else int(value)
+                )
+            else:
+                raise ValueError(f"unknown fault spec key {key!r}")
+        plan = cls(**kwargs)
+        if crashes:
+            plan = replace(
+                plan, crashes=tuple(_parse_crash(c) for c in crashes)
+            )
+        if outages:
+            plan = replace(
+                plan, outages=tuple(_parse_outage(o) for o in outages)
+            )
+        return plan
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by the CLI)."""
+        if self.is_empty():
+            return "no faults"
+        parts = []
+        if self.drop_rate:
+            bound = (
+                "unbounded" if self.max_consecutive_drops is None
+                else f"runs<={self.max_consecutive_drops}"
+            )
+            parts.append(f"drop={self.drop_rate:g} ({bound})")
+        if self.duplicate_rate:
+            parts.append(f"dup={self.duplicate_rate:g}")
+        for o in self.outages:
+            parts.append(f"outage {o.edge[0]}-{o.edge[1]}@{o.start}:{o.end}")
+        for c in self.crashes:
+            end = "" if c.end is None else c.end
+            parts.append(f"crash {c.node}@{c.start}:{end}")
+        parts.append(f"seed={self.seed}")
+        return ", ".join(parts)
+
+
+def _parse_crash(text: str) -> NodeCrash:
+    """Parse ``node@start:end`` (empty end = permanent)."""
+    try:
+        node_s, _, window = text.partition("@")
+        start_s, _, end_s = window.partition(":")
+        return NodeCrash(
+            node=int(node_s),
+            start=int(start_s),
+            end=int(end_s) if end_s else None,
+        )
+    except ValueError as exc:
+        raise ValueError(f"malformed crash spec {text!r}: {exc}") from None
+
+
+def _parse_outage(text: str) -> LinkOutage:
+    """Parse ``u-v@start:end``."""
+    try:
+        edge_s, _, window = text.partition("@")
+        u_s, _, v_s = edge_s.partition("-")
+        start_s, _, end_s = window.partition(":")
+        return LinkOutage(u=int(u_s), v=int(v_s), start=int(start_s), end=int(end_s))
+    except ValueError as exc:
+        raise ValueError(f"malformed outage spec {text!r}: {exc}") from None

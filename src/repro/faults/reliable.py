@@ -1,0 +1,281 @@
+"""Reliable delivery over lossy links: an ack/retry :class:`Node` adapter.
+
+:class:`ReliableNode` wraps any protocol :class:`~repro.sim.node.Node`
+and makes its message exchange survive the faults a
+:class:`~repro.faults.plan.FaultPlan` injects:
+
+* every application send travels as a ``rel`` envelope carrying a
+  per-sender sequence number; the receiver acks every copy and delivers
+  the payload to the wrapped node exactly once (duplicates are absorbed
+  by a per-sender seen-set);
+* unacked envelopes are retransmitted on a timeout with exponential
+  backoff, up to a bounded retry budget — exceeding it raises
+  :class:`RetryBudgetExceeded`, turning a silent deadlock into a
+  diagnosable failure.
+
+The wrapper is itself a conforming protocol node: it only talks through
+the :class:`~repro.sim.node.NodeContext` API (rules R1-R5 of
+``docs/LINT.md`` apply to it like to any other node), so wrapped
+protocols run on the unmodified engine and their runs remain
+deterministic.
+
+Guarantee: under a plan where every message is eventually deliverable
+(finite outages and crash windows, bounded drop runs — see
+:meth:`FaultPlan.eventually_delivers`) and a sufficient retry budget, a
+wrapped protocol's messages are all delivered exactly once, so the
+protocol completes and its outputs verify.  Non-guarantees: no ordering
+beyond the engine's FIFO links is restored, crashed nodes do not lose
+state (crash = fail-stop pause, not amnesia), and a permanent crash or
+an unbounded drop run can still exhaust the retry budget.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.errors import SimulationError
+from repro.sim.message import Message
+from repro.sim.node import Node, NodeContext
+
+
+class RetryBudgetExceeded(SimulationError):
+    """A reliable sender gave up on a message after ``max_retries`` resends."""
+
+    def __init__(self, node_id: int, dst: int, kind: str, attempts: int) -> None:
+        self.node_id = node_id
+        self.dst = dst
+        self.kind = kind
+        self.attempts = attempts
+        super().__init__(
+            f"node {node_id} gave up sending {kind!r} to {dst} after "
+            f"{attempts} attempts — the fault plan starved the link"
+        )
+
+
+class RetryPolicy:
+    """Retransmission knobs for :class:`ReliableNode`.
+
+    Attributes:
+        timeout: rounds to wait for an ack before the first retransmit.
+            Must cover the round trip (2 link delays) plus expected
+            receiver contention; too small a value wastes bandwidth on
+            spurious retransmits but never breaks correctness.
+        backoff: multiplicative interval growth per retransmit (>= 1).
+        max_interval: cap on the retransmit interval.
+        max_retries: retransmissions allowed per message before
+            :class:`RetryBudgetExceeded`.
+    """
+
+    __slots__ = ("timeout", "backoff", "max_interval", "max_retries")
+
+    def __init__(
+        self,
+        timeout: int = 6,
+        backoff: float = 2.0,
+        max_interval: int = 64,
+        max_retries: int = 30,
+    ) -> None:
+        if timeout < 1:
+            raise ValueError(f"timeout must be >= 1 round, got {timeout}")
+        if backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {backoff}")
+        if max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {max_retries}")
+        self.timeout = timeout
+        self.backoff = backoff
+        self.max_interval = max(timeout, max_interval)
+        self.max_retries = max_retries
+
+    def next_interval(self, interval: int) -> int:
+        """The interval following ``interval`` under the backoff curve."""
+        return min(self.max_interval, max(interval + 1, int(interval * self.backoff)))
+
+
+class _Pending:
+    """One unacked envelope awaiting retransmission."""
+
+    __slots__ = ("dst", "kind", "payload", "attempts", "interval", "due")
+
+    def __init__(self, dst: int, kind: str, payload: Any, interval: int, due: int):
+        self.dst = dst
+        self.kind = kind
+        self.payload = payload
+        self.attempts = 1
+        self.interval = interval
+        self.due = due
+
+
+class _ReliableContext:
+    """The :class:`NodeContext` facade handed to the wrapped node.
+
+    Looks exactly like the engine's context (``node_id``/``now``/
+    ``neighbors``/``send``/``complete``/``schedule_wakeup``) but routes
+    sends through the reliability envelope and multiplexes the wrapped
+    node's wakeups with the wrapper's retransmit timers.
+    """
+
+    __slots__ = ("_ctx", "_owner")
+
+    def __init__(self, ctx: NodeContext, owner: "ReliableNode") -> None:
+        self._ctx = ctx
+        self._owner = owner
+
+    @property
+    def node_id(self) -> int:
+        return self._ctx.node_id
+
+    @property
+    def now(self) -> int:
+        return self._ctx.now
+
+    @property
+    def neighbors(self) -> tuple[int, ...]:
+        return self._ctx.neighbors
+
+    def send(self, dst: int, kind: str, payload: Any = None) -> Message:
+        """Send ``(kind, payload)`` reliably: envelope, track, arm timer."""
+        owner = self._owner
+        seq = owner.next_seq
+        owner.next_seq += 1
+        policy = owner.policy
+        pending = _Pending(
+            dst, kind, payload,
+            interval=policy.timeout,
+            due=self._ctx.now + policy.timeout,
+        )
+        owner.pending[seq] = pending
+        msg = self._ctx.send(dst, "rel", payload=(seq, kind, payload))
+        owner._arm_timer(self._ctx)
+        return msg
+
+    def complete(self, op_id: Any, result: Any = None) -> None:
+        self._ctx.complete(op_id, result=result)
+
+    def schedule_wakeup(self, round_: int) -> None:
+        owner = self._owner
+        owner.inner_wakes.add(round_)
+        if round_ not in owner.armed:
+            owner.armed.add(round_)
+            self._ctx.schedule_wakeup(round_)
+
+
+class ReliableNode(Node):
+    """Ack + timeout + bounded-retry wrapper around any protocol node.
+
+    Args:
+        inner: the wrapped protocol node (supplies the node id).
+        policy: retransmission parameters (default :class:`RetryPolicy`).
+
+    Message kinds on the wire:
+        ``rel``: payload ``(seq, kind, payload)`` — one application
+            message under a per-sender sequence number.
+        ``ack``: payload ``seq`` — receipt confirmation, sent for every
+            copy received (acks are not themselves acked).
+    """
+
+    __slots__ = (
+        "inner", "policy", "next_seq", "pending", "seen", "armed",
+        "inner_wakes", "_rctx",
+    )
+
+    def __init__(self, inner: Node, policy: RetryPolicy | None = None) -> None:
+        super().__init__(inner.node_id)
+        self.inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.next_seq = 0
+        #: seq -> unacked envelope.
+        self.pending: dict[int, _Pending] = {}
+        #: sender -> seqs already delivered to the wrapped node.
+        self.seen: dict[int, set[int]] = {}
+        #: rounds with an engine wakeup already scheduled.
+        self.armed: set[int] = set()
+        #: rounds at which the wrapped node asked to be woken.
+        self.inner_wakes: set[int] = set()
+        self._rctx: _ReliableContext | None = None
+
+    # ----------------------------------------------------------- plumbing
+
+    def _proxy(self, ctx: NodeContext) -> _ReliableContext:
+        if self._rctx is None:
+            self._rctx = _ReliableContext(ctx, self)
+        return self._rctx
+
+    def _arm_timer(self, ctx: NodeContext) -> None:
+        """Ensure a wakeup covers the earliest pending retransmission."""
+        if not self.pending:
+            return
+        due = min(p.due for p in self.pending.values())
+        due = max(due, ctx.now + 1)
+        if due not in self.armed:
+            self.armed.add(due)
+            ctx.schedule_wakeup(due)
+
+    # ----------------------------------------------------- engine callbacks
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self.inner.on_start(self._proxy(ctx))
+
+    def on_receive(self, msg: Message, ctx: NodeContext) -> None:
+        if msg.kind == "rel":
+            seq, kind, payload = msg.payload
+            ctx.send(msg.src, "ack", payload=seq)
+            seen = self.seen.setdefault(msg.src, set())
+            if seq in seen:
+                return  # duplicate (injected or retransmitted): ack only
+            seen.add(seq)
+            inner_msg = Message(
+                src=msg.src, dst=msg.dst, kind=kind, payload=payload,
+                sent_at=msg.sent_at, ready_at=msg.ready_at,
+                delivered_at=msg.delivered_at, seq=msg.seq,
+            )
+            self.inner.on_receive(inner_msg, self._proxy(ctx))
+        elif msg.kind == "ack":
+            self.pending.pop(msg.payload, None)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"reliable node got unexpected kind {msg.kind!r}")
+
+    def on_wake(self, ctx: NodeContext) -> None:
+        t = ctx.now
+        self.armed.discard(t)
+        if t in self.inner_wakes:
+            self.inner_wakes.discard(t)
+            self.inner.on_wake(self._proxy(ctx))
+        for seq in sorted(self.pending):
+            p = self.pending.get(seq)
+            if p is None or p.due > t:
+                continue
+            if p.attempts > self.policy.max_retries:
+                raise RetryBudgetExceeded(self.node_id, p.dst, p.kind, p.attempts)
+            p.attempts += 1
+            p.interval = self.policy.next_interval(p.interval)
+            p.due = t + p.interval
+            ctx.send(p.dst, "rel", payload=(seq, p.kind, p.payload))
+        self._arm_timer(ctx)
+
+
+def wrap_reliable(policy: RetryPolicy | None = None):
+    """A node-wrapper callable for runners' ``node_wrapper`` hooks.
+
+    ``run_arrow(..., node_wrapper=wrap_reliable())`` wraps every protocol
+    node in a :class:`ReliableNode` sharing one :class:`RetryPolicy`.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+
+    def _wrap(node: Node) -> ReliableNode:
+        return ReliableNode(node, policy)
+
+    return _wrap
+
+
+def unwrap(node: Node) -> Node:
+    """The protocol node behind a possibly-wrapped ``node``."""
+    return node.inner if isinstance(node, ReliableNode) else node
+
+
+__all__ = [
+    "ReliableNode",
+    "RetryPolicy",
+    "RetryBudgetExceeded",
+    "wrap_reliable",
+    "unwrap",
+]

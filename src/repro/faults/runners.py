@@ -1,0 +1,114 @@
+"""Fault-tolerant protocol entry points.
+
+Each ``run_*_ft`` function runs the corresponding base protocol under a
+:class:`~repro.faults.plan.FaultPlan`, with every node wrapped in the
+reliable-delivery adapter (:mod:`repro.faults.reliable`).  The outputs go
+through the same verifiers as the fault-free runners, so a returned
+result is a *correct* one — under an eventually-delivering plan the run
+completes and verifies despite drops, duplicates, outages, and (finite)
+crashes.
+
+Round budgets: faults stretch executions, so callers should size
+``max_rounds`` for the retry envelope, roughly ``fault_free_rounds +
+retries * timeout`` per lost hop (see ``docs/FAULTS.md``).  The defaults
+below are generous.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.arrow.runner import ArrowResult, run_arrow
+from repro.core.problem import CountingResult
+from repro.counting.central import run_central_counting
+from repro.counting.flood import run_flood_counting
+from repro.faults.plan import FaultPlan
+from repro.faults.reliable import RetryPolicy, wrap_reliable
+from repro.sim import DelayModel, EventTrace
+from repro.topology.base import Graph
+from repro.topology.spanning import SpanningTree
+
+
+def run_arrow_ft(
+    spanning: SpanningTree,
+    requests: Iterable[int],
+    plan: FaultPlan,
+    *,
+    tail: int | None = None,
+    capacity: int | None = None,
+    delay_model: DelayModel | None = None,
+    max_rounds: int = 10_000_000,
+    trace: EventTrace | None = None,
+    policy: RetryPolicy | None = None,
+) -> ArrowResult:
+    """Arrow queuing under ``plan`` with reliable delivery.
+
+    Same contract as :func:`repro.arrow.run_arrow`; the result's
+    predecessor chain is still a single queue over all requests.  Strict
+    mode is unavailable: acks and retransmits legitimately exceed the
+    per-round budgets, which the engine absorbs as queuing delay.
+    """
+    return run_arrow(
+        spanning,
+        requests,
+        tail=tail,
+        capacity=capacity,
+        delay_model=delay_model,
+        max_rounds=max_rounds,
+        trace=trace,
+        node_wrapper=wrap_reliable(policy),
+        faults=plan,
+    )
+
+
+def run_central_counting_ft(
+    graph: Graph,
+    requests: Iterable[int],
+    plan: FaultPlan,
+    *,
+    root: int = 0,
+    max_rounds: int = 50_000_000,
+    delay_model: DelayModel | None = None,
+    trace: EventTrace | None = None,
+    policy: RetryPolicy | None = None,
+) -> CountingResult:
+    """Central-counter counting under ``plan`` with reliable delivery."""
+    return run_central_counting(
+        graph,
+        requests,
+        root=root,
+        max_rounds=max_rounds,
+        delay_model=delay_model,
+        trace=trace,
+        node_wrapper=wrap_reliable(policy),
+        faults=plan,
+    )
+
+
+def run_flood_counting_ft(
+    graph: Graph,
+    requests: Iterable[int],
+    plan: FaultPlan,
+    *,
+    max_rounds: int = 50_000_000,
+    delay_model: DelayModel | None = None,
+    trace: EventTrace | None = None,
+    policy: RetryPolicy | None = None,
+) -> CountingResult:
+    """Flood-and-rank counting under ``plan`` with reliable delivery."""
+    return run_flood_counting(
+        graph,
+        requests,
+        max_rounds=max_rounds,
+        delay_model=delay_model,
+        trace=trace,
+        node_wrapper=wrap_reliable(policy),
+        faults=plan,
+    )
+
+
+__all__ = [
+    "run_arrow_ft",
+    "run_central_counting_ft",
+    "run_flood_counting_ft",
+]

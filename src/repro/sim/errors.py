@@ -14,17 +14,45 @@ class CapacityError(SimulationError):
 class RoundLimitExceeded(SimulationError):
     """Raised when a run does not quiesce within ``max_rounds`` rounds.
 
-    Either the protocol genuinely diverges or the caller's round budget was
-    too small for the instance size.  The exception carries the round limit
-    so harnesses can report it.
+    Either the protocol genuinely diverges, the caller's round budget was
+    too small for the instance size, or (under fault injection) a message
+    was silently lost and nobody retried it.  Beyond the round limit the
+    exception carries the deadlock evidence a debugger wants first:
+
+    Attributes:
+        max_rounds: the exhausted round budget.
+        in_flight: messages still in flight or queued.
+        pending_nodes: sorted ids of nodes with undelivered inbound or
+            unsent outbound messages — the nodes whose operations are
+            still pending.
+        oldest: ``(kind, src, dst, sent_at)`` of the oldest undelivered
+            message (``sent_at`` is ``-1`` for a message still in its
+            sender's outbox), or ``None`` when nothing is queued.
     """
 
-    def __init__(self, max_rounds: int, in_flight: int) -> None:
+    def __init__(
+        self,
+        max_rounds: int,
+        in_flight: int,
+        pending_nodes: tuple[int, ...] = (),
+        oldest: tuple[str, int, int, int] | None = None,
+    ) -> None:
         self.max_rounds = max_rounds
         self.in_flight = in_flight
+        self.pending_nodes = tuple(pending_nodes)
+        self.oldest = oldest
+        detail = ""
+        if self.pending_nodes:
+            shown = ", ".join(map(str, self.pending_nodes[:8]))
+            more = "..." if len(self.pending_nodes) > 8 else ""
+            detail += f"; nodes with pending operations: [{shown}{more}]"
+        if oldest is not None:
+            kind, src, dst, sent_at = oldest
+            when = f"sent at round {sent_at}" if sent_at >= 0 else "never sent"
+            detail += f"; oldest undelivered: {kind!r} {src}->{dst} ({when})"
         super().__init__(
             f"simulation did not quiesce within {max_rounds} rounds "
-            f"({in_flight} messages still in flight or queued)"
+            f"({in_flight} messages still in flight or queued){detail}"
         )
 
 

@@ -55,6 +55,12 @@ class RunStats:
         total_link_wait: sum over delivered messages of the rounds they
             waited at the receiver beyond the unit link delay — the total
             receive contention in the run.
+        messages_dropped: messages lost at link entry by an injected
+            fault (random loss or link outage); zero without a fault plan.
+        messages_duplicated: extra copies injected onto links by a fault
+            plan; each copy also counts in ``messages_sent`` once it is
+            on the link.
+        node_crashes: crash windows entered during the run.
     """
 
     rounds: int = 0
@@ -63,6 +69,9 @@ class RunStats:
     max_send_backlog: int = 0
     max_recv_backlog: int = 0
     total_link_wait: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    node_crashes: int = 0
 
 
 def _as_adjacency(graph: Any) -> dict[int, tuple[int, ...]]:
@@ -104,6 +113,11 @@ class SynchronousNetwork:
             raises :class:`StrictModeViolation` instead of queuing the
             excess.  Opt-in: contention-by-design protocols (the paper's
             main subject) must leave this off.
+        faults: optional :class:`repro.faults.FaultPlan` describing
+            message drops, duplications, link outages, and node crashes
+            to inject (see :mod:`repro.faults`).  An empty plan (or
+            ``None``) leaves every code path untouched, so the run is
+            byte-for-byte identical to a fault-free one.
 
     Typical use::
 
@@ -122,6 +136,7 @@ class SynchronousNetwork:
         delay_model: DelayModel | None = None,
         trace: EventTrace | None = None,
         strict: bool = False,
+        faults: Any | None = None,
     ) -> None:
         if send_capacity < 1:
             raise CapacityError(f"send_capacity must be >= 1, got {send_capacity}")
@@ -141,6 +156,10 @@ class SynchronousNetwork:
         self.stats = RunStats()
         self.trace = trace
         self.strict = strict
+        # Runtime fault state, or None for fault-free runs.  Duck-typed
+        # (see repro.faults.injector.FaultInjector) so the engine never
+        # imports the faults package.
+        self._injector = faults.injector() if faults is not None else None
         # Strict-mode send accounting: node -> (round, sends so far).
         self._send_budget: dict[int, tuple[int, int]] = {}
 
@@ -203,6 +222,9 @@ class SynchronousNetwork:
         self._started = True
 
         self.now = 0
+        inj = self._injector
+        if inj is not None:
+            inj.tick(0, self.stats, self.trace)
         for v in sorted(self._nodes):
             self._nodes[v].on_start(self._ctx[v])
         self._send_phase()
@@ -210,7 +232,14 @@ class SynchronousNetwork:
         while self._in_flight > 0 or self._wakeups:
             self.now += 1
             if self.now > max_rounds:
-                raise RoundLimitExceeded(max_rounds, self._in_flight)
+                raise RoundLimitExceeded(
+                    max_rounds,
+                    self._in_flight,
+                    pending_nodes=self._pending_nodes(),
+                    oldest=self._oldest_undelivered(),
+                )
+            if inj is not None:
+                inj.tick(self.now, self.stats, self.trace)
             self._wake_phase()
             self._receive_phase()
             self._send_phase()
@@ -218,6 +247,30 @@ class SynchronousNetwork:
 
         self.stats.rounds = self.now
         return self.stats
+
+    def _pending_nodes(self) -> tuple[int, ...]:
+        """Nodes with unsent outbound or undelivered inbound messages."""
+        pending = {u for u, box in self._outbox.items() if box}
+        for (_, dst), q in self._links.items():
+            if q:
+                pending.add(dst)
+        return tuple(sorted(pending))
+
+    def _oldest_undelivered(self) -> tuple[str, int, int, int] | None:
+        """``(kind, src, dst, sent_at)`` of the oldest queued message."""
+        oldest: Message | None = None
+        for q in self._links.values():
+            for m in q:
+                if oldest is None or (m.sent_at, m.seq) < (oldest.sent_at, oldest.seq):
+                    oldest = m
+        if oldest is None:
+            for box in self._outbox.values():
+                for m in box:
+                    if oldest is None or m.seq < oldest.seq:
+                        oldest = m
+        if oldest is None:
+            return None
+        return (oldest.kind, oldest.src, oldest.dst, oldest.sent_at)
 
     # ------------------------------------------------------------ engine
 
@@ -261,7 +314,15 @@ class SynchronousNetwork:
                     due = self._wakeups.pop(nxt)
             if not due:
                 return
+        inj = self._injector
         for v in sorted(set(due)):
+            if inj is not None and inj.crashed(v, self.now):
+                # Crashed nodes do not act; their wakeups fire at recovery
+                # (and are dropped for a permanent crash).
+                rec = inj.recovery_round(v, self.now)
+                if rec is not None:
+                    self._wakeups.setdefault(rec, []).append(v)
+                continue
             self._nodes[v].on_wake(self._ctx[v])
 
     def _maybe_jump(self, max_rounds: int) -> None:
@@ -288,9 +349,12 @@ class SynchronousNetwork:
 
     def _receive_phase(self) -> None:
         t = self.now
+        inj = self._injector
         # Snapshot: only nodes with a non-empty ready heap can receive.
         receivers = sorted(v for v, h in self._ready.items() if h)
         for v in receivers:
+            if inj is not None and inj.crashed(v, t):
+                continue  # crashed receiver: messages wait on their links
             heap = self._ready[v]
             node = self._nodes[v]
             ctx = self._ctx[v]
@@ -320,28 +384,63 @@ class SynchronousNetwork:
 
     def _send_phase(self) -> None:
         t = self.now
+        inj = self._injector
         senders = sorted(v for v, box in self._outbox.items() if box)
         for u in senders:
+            if inj is not None and inj.crashed(u, t):
+                continue  # crashed sender: outbox frozen until recovery
             box = self._outbox[u]
             for _ in range(min(self.send_capacity, len(box))):
                 msg = box.popleft()
                 msg.sent_at = t
-                msg.ready_at = t + self.delay_model(msg)
-                key = (u, msg.dst)
-                q = self._links.get(key)
-                if q is None:
-                    q = self._links[key] = deque()
-                q.append(msg)
-                if len(q) > self.stats.max_recv_backlog:
-                    self.stats.max_recv_backlog = len(q)
-                if len(q) == 1:
-                    heap = self._ready.get(msg.dst)
-                    if heap is None:
-                        heap = self._ready[msg.dst] = []
-                    heapq.heappush(heap, (msg.ready_at, msg.seq, u))
-                self.stats.messages_sent += 1
-                if self.trace is not None:
-                    self.trace.record("send", t, src=u, dst=msg.dst, kind=msg.kind)
+                verdict = None
+                if inj is not None:
+                    verdict = inj.on_link_entry(msg, t)
+                    if verdict in ("drop", "outage"):
+                        # Lost on the wire: the send slot is consumed but
+                        # the message never enters the link.
+                        self._in_flight -= 1
+                        self.stats.messages_dropped += 1
+                        if self.trace is not None:
+                            self.trace.record(
+                                "drop", t, src=u, dst=msg.dst, kind=msg.kind,
+                                reason=verdict,
+                            )
+                        continue
+                self._link_entry(msg, u, t)
+                if verdict == "duplicate":
+                    clone = Message(
+                        src=msg.src, dst=msg.dst, kind=msg.kind,
+                        payload=msg.payload, seq=self._msg_seq,
+                    )
+                    self._msg_seq += 1
+                    clone.sent_at = t
+                    self._in_flight += 1
+                    self.stats.messages_duplicated += 1
+                    self._link_entry(clone, u, t)
+                    if self.trace is not None:
+                        self.trace.record(
+                            "duplicate", t, src=u, dst=msg.dst, kind=msg.kind
+                        )
+
+    def _link_entry(self, msg: Message, u: int, t: int) -> None:
+        """Place ``msg`` on its link (the fault-free tail of the send phase)."""
+        msg.ready_at = t + self.delay_model(msg)
+        key = (u, msg.dst)
+        q = self._links.get(key)
+        if q is None:
+            q = self._links[key] = deque()
+        q.append(msg)
+        if len(q) > self.stats.max_recv_backlog:
+            self.stats.max_recv_backlog = len(q)
+        if len(q) == 1:
+            heap = self._ready.get(msg.dst)
+            if heap is None:
+                heap = self._ready[msg.dst] = []
+            heapq.heappush(heap, (msg.ready_at, msg.seq, u))
+        self.stats.messages_sent += 1
+        if self.trace is not None:
+            self.trace.record("send", t, src=u, dst=msg.dst, kind=msg.kind)
 
 
 def run_protocol(

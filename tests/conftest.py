@@ -7,6 +7,16 @@ import random
 import pytest
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen",
+        action="store_true",
+        default=False,
+        help="rewrite the golden trace fixtures under tests/golden/ from "
+        "the current engine instead of comparing against them",
+    )
+
+
 @pytest.fixture
 def rng() -> random.Random:
     """A deterministic RNG per test."""

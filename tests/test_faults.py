@@ -1,0 +1,300 @@
+"""Unit battery for the fault-injection subsystem.
+
+Covers the plan grammar and validation, injector determinism and verdict
+semantics, crash/outage mechanics inside the engine, the enriched
+:class:`RoundLimitExceeded` diagnostics, and the reliable wrapper's
+dedup/retry behaviour including budget exhaustion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    FaultPlan,
+    LinkOutage,
+    NodeCrash,
+    RetryPolicy,
+    path_graph,
+    run_arrow,
+    run_arrow_ft,
+    run_central_counting,
+    run_central_counting_ft,
+    star_graph,
+)
+from repro.faults.injector import DELIVER, DROP, DUPLICATE, OUTAGE, FaultInjector
+from repro.faults.reliable import RetryBudgetExceeded, unwrap, wrap_reliable
+from repro.sim import EventTrace, Message, RunStats
+from repro.sim.errors import RoundLimitExceeded
+from repro.topology.spanning import path_spanning_tree
+
+
+def _msg(src: int, dst: int, sent_at: int = 0, seq: int = 0) -> Message:
+    m = Message(src=src, dst=dst, kind="x", payload=None, seq=seq)
+    m.sent_at = sent_at
+    return m
+
+
+# ------------------------------------------------------------------ the plan
+
+
+class TestFaultPlan:
+    def test_default_plan_is_empty_and_has_no_injector(self):
+        plan = FaultPlan()
+        assert plan.is_empty()
+        assert plan.injector() is None
+        assert plan.eventually_delivers()
+        assert plan.describe() == "no faults"
+
+    def test_nonempty_plan_builds_injector(self):
+        plan = FaultPlan(drop_rate=0.1)
+        assert not plan.is_empty()
+        assert isinstance(plan.injector(), FaultInjector)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"drop_rate": 1.0},
+        {"drop_rate": -0.1},
+        {"duplicate_rate": 1.5},
+        {"max_consecutive_drops": 0},
+    ])
+    def test_invalid_rates_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+    def test_outage_validation(self):
+        with pytest.raises(ValueError):
+            LinkOutage(3, 3, 0, 5)  # self-loop
+        with pytest.raises(ValueError):
+            LinkOutage(0, 1, 5, 5)  # empty window
+        assert LinkOutage(2, 1, 0, 5).edge == (1, 2)
+
+    def test_crash_validation(self):
+        with pytest.raises(ValueError):
+            NodeCrash(0, -1, 5)
+        with pytest.raises(ValueError):
+            NodeCrash(0, 5, 5)
+        assert NodeCrash(0, 5, None).down(10**9)  # permanent
+
+    def test_eventual_delivery_conditions(self):
+        assert FaultPlan(drop_rate=0.5, max_consecutive_drops=3).eventually_delivers()
+        assert not FaultPlan(
+            drop_rate=0.5, max_consecutive_drops=None
+        ).eventually_delivers()
+        assert not FaultPlan(crashes=(NodeCrash(0, 0, None),)).eventually_delivers()
+        assert FaultPlan(crashes=(NodeCrash(0, 0, 9),)).eventually_delivers()
+
+    def test_parse_full_grammar(self):
+        plan = FaultPlan.parse(
+            "drop=0.1, dup=0.05, seed=7, runs=2",
+            crashes=["3@10:20", "5@4:"],
+            outages=["1-2@5:15"],
+        )
+        assert plan.drop_rate == 0.1
+        assert plan.duplicate_rate == 0.05
+        assert plan.seed == 7
+        assert plan.max_consecutive_drops == 2
+        assert plan.crashes == (NodeCrash(3, 10, 20), NodeCrash(5, 4, None))
+        assert plan.outages == (LinkOutage(1, 2, 5, 15),)
+
+    def test_parse_runs_inf(self):
+        assert FaultPlan.parse("drop=0.2,runs=inf").max_consecutive_drops is None
+
+    def test_parse_empty_spec_is_empty_plan(self):
+        assert FaultPlan.parse("").is_empty()
+
+    @pytest.mark.parametrize("bad", ["drop", "loss=0.1", "drop=x"])
+    def test_parse_rejects_malformed_spec(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(bad)
+
+    @pytest.mark.parametrize("bad", ["x@1:2", "3@:", "3"])
+    def test_parse_rejects_malformed_crash(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("", crashes=[bad])
+
+    def test_parse_rejects_malformed_outage(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("", outages=["1@5:15"])
+
+    def test_describe_mentions_every_component(self):
+        text = FaultPlan(
+            seed=9, drop_rate=0.25, duplicate_rate=0.1,
+            outages=(LinkOutage(0, 1, 2, 4),), crashes=(NodeCrash(2, 3, None),),
+        ).describe()
+        for needle in ("drop=0.25", "dup=0.1", "outage 0-1@2:4", "crash 2@3:", "seed=9"):
+            assert needle in text
+
+
+# -------------------------------------------------------------- the injector
+
+
+class TestFaultInjector:
+    def test_same_seed_same_verdicts(self):
+        plan = FaultPlan(seed=42, drop_rate=0.3, duplicate_rate=0.3)
+        inj_a, inj_b = plan.injector(), plan.injector()
+        a = [inj_a.on_link_entry(_msg(0, 1), t) for t in range(50)]
+        b = [inj_b.on_link_entry(_msg(0, 1), t) for t in range(50)]
+        assert a == b
+        assert DROP in a and DUPLICATE in a  # at 30% over 50 draws
+
+    def test_different_seeds_differ(self):
+        verdicts = []
+        for seed in (1, 2):
+            inj = FaultPlan(seed=seed, drop_rate=0.4, duplicate_rate=0.3).injector()
+            verdicts.append([inj.on_link_entry(_msg(0, 1), t) for t in range(60)])
+        assert verdicts[0] != verdicts[1]
+
+    def test_consecutive_drop_bound_per_link(self):
+        inj = FaultPlan(seed=0, drop_rate=0.95, max_consecutive_drops=2).injector()
+        streak = 0
+        for t in range(300):
+            v = inj.on_link_entry(_msg(0, 1, sent_at=t), t)
+            streak = streak + 1 if v == DROP else 0
+            assert streak <= 2
+
+    def test_drop_runs_tracked_per_directed_link(self):
+        # A near-certain drop rate: both directions should each hit the
+        # bound independently rather than sharing one counter.
+        inj = FaultPlan(seed=0, drop_rate=0.95, max_consecutive_drops=1).injector()
+        seq = [inj.on_link_entry(_msg(0, 1), 0) for _ in range(10)]
+        rev = [inj.on_link_entry(_msg(1, 0), 0) for _ in range(10)]
+        for s in (seq, rev):
+            assert all(
+                not (a == DROP and b == DROP) for a, b in zip(s, s[1:])
+            )
+
+    def test_outage_window_beats_randomness(self):
+        plan = FaultPlan(outages=(LinkOutage(0, 1, 5, 10),))
+        inj = plan.injector()
+        assert inj.on_link_entry(_msg(0, 1), 4) == DELIVER
+        assert inj.on_link_entry(_msg(0, 1), 5) == OUTAGE
+        assert inj.on_link_entry(_msg(1, 0), 7) == OUTAGE  # both directions
+        assert inj.on_link_entry(_msg(0, 1), 10) == DELIVER
+        assert inj.on_link_entry(_msg(0, 2), 7) == DELIVER  # other edges live
+
+    def test_duplicate_verdict_occurs(self):
+        inj = FaultPlan(seed=1, duplicate_rate=0.5).injector()
+        verdicts = {inj.on_link_entry(_msg(0, 1), t) for t in range(40)}
+        assert verdicts == {DELIVER, DUPLICATE}
+
+    def test_crash_windows_and_recovery(self):
+        inj = FaultPlan(crashes=(NodeCrash(3, 5, 9), NodeCrash(3, 20, None))).injector()
+        assert inj.has_crashes()
+        assert not inj.crashed(3, 4)
+        assert inj.crashed(3, 5) and inj.crashed(3, 8)
+        assert not inj.crashed(3, 9)
+        assert inj.crashed(3, 10**6)  # second, permanent window
+        assert inj.recovery_round(3, 6) == 9
+        assert inj.recovery_round(3, 25) is None
+
+    def test_tick_emits_boundaries_with_scheduled_round(self):
+        inj = FaultPlan(crashes=(NodeCrash(1, 2, 6),)).injector()
+        stats, trace = RunStats(), EventTrace()
+        inj.tick(0, stats, trace)
+        assert stats.node_crashes == 0 and len(trace) == 0
+        inj.tick(10, stats, trace)  # engine jumped over rounds 2 and 6
+        assert stats.node_crashes == 1
+        assert [(e.kind, e.round) for e in trace] == [("crash", 2), ("recover", 6)]
+        inj.tick(11, stats, trace)  # boundaries emit once
+        assert len(trace) == 2
+
+
+# ------------------------------------------------- engine-level fault effects
+
+
+class TestEngineFaultEffects:
+    def test_drop_and_duplicate_counters_and_trace(self):
+        trace = EventTrace()
+        plan = FaultPlan(seed=5, drop_rate=0.2, duplicate_rate=0.3)
+        res = run_central_counting_ft(star_graph(8), range(8), plan, trace=trace)
+        assert res.stats.messages_dropped == len(trace.of_kind("drop"))
+        assert res.stats.messages_duplicated == len(trace.of_kind("duplicate"))
+        assert res.stats.messages_dropped > 0
+        assert res.stats.messages_duplicated > 0
+
+    def test_crashed_node_freezes_and_resumes(self):
+        # Crash the star hub mid-run: every request stalls, then completes.
+        plan = FaultPlan(crashes=(NodeCrash(0, 2, 30),))
+        trace = EventTrace()
+        res = run_central_counting_ft(star_graph(8), range(8), plan, trace=trace)
+        assert res.stats.node_crashes == 1
+        assert sorted(res.counts.values()) == list(range(1, 9))
+        assert res.stats.rounds >= 30  # the run had to outlive the outage
+        assert len(trace.of_kind("crash")) == 1
+        assert len(trace.of_kind("recover")) == 1
+
+    def test_round_limit_diagnostics_name_pending_nodes(self):
+        with pytest.raises(RoundLimitExceeded) as exc:
+            run_central_counting(star_graph(16), range(16), max_rounds=4)
+        e = exc.value
+        assert e.max_rounds == 4
+        assert e.in_flight > 0
+        assert e.pending_nodes and all(0 <= v < 16 for v in e.pending_nodes)
+        assert e.pending_nodes == tuple(sorted(e.pending_nodes))
+        kind, src, dst, sent_at = e.oldest
+        assert kind == "req" and dst == 0
+        assert "pending operations" in str(e)
+        assert "oldest undelivered" in str(e)
+
+    def test_round_limit_legacy_signature_still_works(self):
+        e = RoundLimitExceeded(100, 3)
+        assert e.max_rounds == 100 and e.in_flight == 3
+        assert e.pending_nodes == () and e.oldest is None
+
+
+# ----------------------------------------------------------- reliable wrapper
+
+
+class TestReliableWrapper:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=0)
+
+    def test_backoff_curve_monotone_and_capped(self):
+        p = RetryPolicy(timeout=4, backoff=2.0, max_interval=32)
+        seq = [4]
+        for _ in range(8):
+            seq.append(p.next_interval(seq[-1]))
+        assert seq == sorted(seq)
+        assert seq[-1] == 32
+
+    def test_unwrap_round_trips(self):
+        from repro.sim import Node
+
+        inner = Node(7)
+        wrapped = wrap_reliable()(inner)
+        assert unwrap(wrapped) is inner
+        assert unwrap(inner) is inner
+        assert wrapped.node_id == 7
+
+    def test_wrapper_is_transparent_without_faults(self):
+        sp = path_spanning_tree(path_graph(6))
+        plain = run_arrow(sp, range(6))
+        wrapped = run_arrow(sp, range(6), node_wrapper=wrap_reliable())
+        assert wrapped.order() == plain.order()
+        assert wrapped.predecessors == plain.predecessors
+
+    def test_retry_budget_exhausts_under_permanent_crash(self):
+        plan = FaultPlan(crashes=(NodeCrash(0, 0, None),))  # hub never serves
+        assert not plan.eventually_delivers()
+        policy = RetryPolicy(timeout=2, max_retries=3)
+        with pytest.raises(RetryBudgetExceeded) as exc:
+            run_central_counting_ft(
+                star_graph(4), range(1, 4), plan, policy=policy, max_rounds=10_000
+            )
+        assert exc.value.attempts > policy.max_retries
+        assert exc.value.dst == 0
+        assert "gave up" in str(exc.value)
+
+    def test_ft_run_is_deterministic(self):
+        plan = FaultPlan(seed=13, drop_rate=0.2, duplicate_rate=0.1)
+        sp = path_spanning_tree(path_graph(8))
+        a = run_arrow_ft(sp, range(8), plan)
+        b = run_arrow_ft(sp, range(8), plan)
+        assert a.stats == b.stats
+        assert a.delays == b.delays
+        assert a.order() == b.order()

@@ -9,7 +9,11 @@ generated trees, graphs, and request sets:
   beats the analytic lower bounds;
 * the NN tour is sandwiched between the exact optimum and the
   Rosenkrantz envelope, and on lists obeys Lemma 4.3/4.4;
-* ``log*``/``tow`` satisfy their defining identities.
+* ``log*``/``tow`` satisfy their defining identities;
+* under any randomly generated *eventually-delivering* fault plan
+  (drops, duplicates, outages, finite crashes), the reliable-delivery
+  wrapper keeps arrow queuing and central counting correct: the run
+  completes, counts are exactly ``1..|R|``, and the queue is one chain.
 """
 
 from __future__ import annotations
@@ -25,6 +29,13 @@ from repro.counting import (
     run_combining_counting,
     run_counting_network,
     run_flood_counting,
+)
+from repro.faults import (
+    FaultPlan,
+    LinkOutage,
+    NodeCrash,
+    run_arrow_ft,
+    run_central_counting_ft,
 )
 from repro.topology.base import Graph
 from repro.topology.spanning import SpanningTree
@@ -100,6 +111,58 @@ def spanning_of(tree: RootedTree) -> SpanningTree:
     return SpanningTree(g, tree, label="hyp")
 
 
+@st.composite
+def chaos_plans(draw, n: int):
+    """A random *eventually-delivering* fault plan for an n-vertex instance.
+
+    Drop runs are bounded, outage windows are finite by construction, and
+    every crash recovers — exactly the hypothesis under which the
+    reliable wrapper promises completion (see ``docs/FAULTS.md``).
+    """
+    outages = []
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1).filter(lambda x: x != u))
+        start = draw(st.integers(min_value=0, max_value=12))
+        outages.append(LinkOutage(u, v, start, start + draw(st.integers(1, 8))))
+    crashes = []
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        node = draw(st.integers(min_value=0, max_value=n - 1))
+        start = draw(st.integers(min_value=0, max_value=12))
+        crashes.append(NodeCrash(node, start, start + draw(st.integers(1, 8))))
+    return FaultPlan(
+        seed=draw(st.integers(min_value=0, max_value=10**6)),
+        drop_rate=draw(st.floats(min_value=0.0, max_value=0.3)),
+        duplicate_rate=draw(st.floats(min_value=0.0, max_value=0.2)),
+        max_consecutive_drops=2,
+        outages=tuple(outages),
+        crashes=tuple(crashes),
+    )
+
+
+@st.composite
+def trees_requests_and_plans(draw, max_n=12):
+    tree, req = draw(trees_with_requests(max_n=max_n))
+    return tree, req, draw(chaos_plans(tree.n))
+
+
+@st.composite
+def graphs_requests_and_plans(draw, max_n=10):
+    g = draw(connected_graphs(max_n=max_n))
+    k = draw(st.integers(min_value=1, max_value=g.n))
+    req = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=g.n - 1),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        )
+    )
+    return g, req, draw(chaos_plans(g.n))
+
+
 # ------------------------------------------------------------------ the props
 
 
@@ -167,6 +230,35 @@ class TestCountingProperties:
         req = rng.sample(range(n), rng.randint(1, n))
         r = run_counting_network(g, req)
         verify_counting(req, r.counts)
+
+
+class TestChaosProperties:
+    """The reliable wrapper's liveness+safety claim, adversarially sampled.
+
+    Together these two properties exercise >= 200 generated fault plans
+    per run (100 examples each): any eventually-delivering composition of
+    drops, duplicates, outages, and finite crashes leaves the wrapped
+    protocols correct.
+    """
+
+    @given(data=trees_requests_and_plans(max_n=12))
+    @settings(max_examples=100, deadline=None)
+    def test_ft_arrow_forms_one_chain_under_any_plan(self, data):
+        tree, req, plan = data
+        assert plan.eventually_delivers()
+        res = run_arrow_ft(spanning_of(tree), req, plan, max_rounds=500_000)
+        chain = verify_queuing(req, res.predecessors, tail=res.tail)
+        assert [op[1] for op in chain] == res.order()
+        assert sorted(res.order()) == sorted(req)
+
+    @given(data=graphs_requests_and_plans(max_n=10))
+    @settings(max_examples=100, deadline=None)
+    def test_ft_central_counts_exactly_1_to_r_under_any_plan(self, data):
+        g, req, plan = data
+        assert plan.eventually_delivers()
+        res = run_central_counting_ft(g, req, plan, max_rounds=500_000)
+        verify_counting(req, res.counts)
+        assert sorted(res.counts.values()) == list(range(1, len(req) + 1))
 
 
 class TestTspProperties:

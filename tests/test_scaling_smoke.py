@@ -10,6 +10,8 @@ from __future__ import annotations
 from repro.arrow import run_arrow
 from repro.bounds import list_queuing_bound, theorem36_lower_bound
 from repro.counting import run_central_counting, run_sweep_counting
+from repro.faults import FaultPlan, run_arrow_ft, run_central_counting_ft
+from repro.sim import EventTrace
 from repro.topology import complete_graph, mesh_graph, path_graph, star_graph
 from repro.topology.spanning import path_spanning_tree
 from repro.tsp import list_tsp_bound, nearest_neighbor_tour
@@ -80,3 +82,55 @@ class TestLargeMesh:
         counting = run_central_counting(g, range(g.n))
         arrow = run_arrow(path_spanning_tree(g), range(g.n))
         assert counting.total_delay > 10 * arrow.total_delay
+
+
+class TestChaosSmoke:
+    """n=64 protocols survive 10% message loss inside the retry envelope.
+
+    With the default policy (timeout 6, backoff 2, intervals capped) and
+    drop runs bounded at 3, a lost hop is re-offered at most 4 times
+    before it must get through, costing at most ``6+12+24+48 = 90`` extra
+    rounds — so a fault-free run of ``R`` rounds is bounded by roughly
+    ``90x`` its length once every hop can be unlucky.  The assertions use
+    that envelope with slack; blowing it means retries stopped working.
+    """
+
+    PLAN = FaultPlan(seed=11, drop_rate=0.1, max_consecutive_drops=3)
+
+    @staticmethod
+    def _envelope(fault_free_rounds: int) -> int:
+        return 90 * fault_free_rounds + 200
+
+    def test_star_64_central_counting_under_drop(self):
+        g = star_graph(64)
+        base = run_central_counting(g, range(g.n))
+        ft = run_central_counting_ft(g, range(g.n), self.PLAN)
+        assert sorted(ft.counts.values()) == list(range(1, g.n + 1))
+        assert ft.stats.messages_dropped > 0
+        assert ft.stats.rounds <= self._envelope(base.stats.rounds)
+
+    def test_path_64_arrow_under_drop(self):
+        sp = path_spanning_tree(path_graph(64))
+        base = run_arrow(sp, range(64))
+        ft = run_arrow_ft(sp, range(64), self.PLAN)
+        assert sorted(ft.order()) == list(range(64))
+        assert ft.stats.messages_dropped > 0
+        assert ft.stats.rounds <= self._envelope(base.stats.rounds)
+
+    def test_mesh_64_central_counting_under_drop(self):
+        g = mesh_graph([8, 8])
+        base = run_central_counting(g, range(g.n))
+        ft = run_central_counting_ft(g, range(g.n), self.PLAN)
+        assert sorted(ft.counts.values()) == list(range(1, g.n + 1))
+        assert ft.stats.rounds <= self._envelope(base.stats.rounds)
+
+    def test_no_fault_plan_is_a_verified_noop(self):
+        """An empty plan reproduces the plain run exactly, trace and all."""
+        sp = path_spanning_tree(path_graph(64))
+        t_plain, t_empty = EventTrace(), EventTrace()
+        plain = run_arrow(sp, range(64), trace=t_plain)
+        empty = run_arrow(sp, range(64), trace=t_empty, faults=FaultPlan())
+        assert t_plain.events == t_empty.events
+        assert plain.stats == empty.stats
+        assert plain.delays == empty.delays
+        assert plain.order() == empty.order()
