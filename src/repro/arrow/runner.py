@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Hashable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterable
 
 from repro.arrow.protocol import ArrowNode, init_op
 from repro.sim import DelayModel, EventTrace, Node, RunStats, SynchronousNetwork
@@ -82,6 +82,8 @@ def run_arrow(
     delay_model: DelayModel | None = None,
     max_rounds: int = 10_000_000,
     trace: EventTrace | None = None,
+    metrics: Any | None = None,
+    profiler: Any | None = None,
     strict: bool = False,
     node_wrapper: Callable[[Node], Node] | None = None,
     faults: "FaultPlan | None" = None,
@@ -103,6 +105,10 @@ def run_arrow(
         max_rounds: engine safety limit.
         trace: optional :class:`EventTrace` recording engine events (used
             by the determinism sanitizer).
+        metrics: optional :class:`repro.obs.MetricsRegistry` the engine
+            publishes counters/gauges/histograms into.
+        profiler: optional :class:`repro.obs.PhaseProfiler` timing the
+            engine phases.
         strict: enable the engine's strict per-round budget assertions.
         node_wrapper: optional adapter applied to every protocol node
             before the run (e.g. :func:`repro.faults.wrap_reliable`); the
@@ -151,6 +157,8 @@ def run_arrow(
         recv_capacity=capacity,
         delay_model=delay_model,
         trace=trace,
+        metrics=metrics,
+        profiler=profiler,
         strict=strict,
         faults=faults,
     )

@@ -12,6 +12,9 @@ Usage::
     python -m repro arrow --graph path --n 32 --faults drop=0.1,seed=7
     python -m repro count --algorithm central --faults dup=0.05 --crash 3@10:20
     python -m repro lint src/repro --format json
+    python -m repro trace arrow --graph path --n 8 -o arrow.perfetto.json
+    python -m repro profile flood --n 32
+    python -m repro count --algorithm flood --stats --metrics-json m.json
 
 ``run`` executes experiments from the suite (test-scale defaults or the
 larger ``--scale bench`` parameterisations) and prints the regenerated
@@ -21,6 +24,15 @@ implementations against the model rules (see ``docs/LINT.md``);
 ``--sanitize`` replays a protocol run and diffs the event traces to catch
 nondeterminism; ``--strict`` makes the engine raise on any per-round
 send/receive budget overrun instead of queuing.
+
+Observability (see ``docs/OBSERVABILITY.md``): ``trace`` runs a protocol
+with event tracing on and writes a Chrome/Perfetto ``trace_event`` JSON
+(open it at https://ui.perfetto.dev) plus a flat JSONL event stream;
+``profile`` times the engine's per-round phases and prints the hottest
+first; ``--stats`` on ``run``/``arrow``/``count`` prints the engine's
+aggregate counters, and ``--metrics-json PATH`` dumps the full metrics
+registry (counters, gauges, per-op delay and link-wait histograms) — for
+``run``, a per-experiment summary document — as JSON.
 
 ``--faults``/``--crash``/``--outage`` run the protocol under a seeded
 fault plan with the reliable-delivery wrapper (see ``docs/FAULTS.md``):
@@ -127,6 +139,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     bench = _bench_scale() if args.scale == "bench" else {}
     failures = 0
+    runs = []
     for exp_id in targets:
         if exp_id not in ALL_EXPERIMENTS:
             raise SystemExit(
@@ -135,10 +148,28 @@ def cmd_run(args: argparse.Namespace) -> int:
         fn = bench.get(exp_id, ALL_EXPERIMENTS[exp_id])
         t0 = time.time()
         result = fn()
+        elapsed = time.time() - t0
+        runs.append((result, elapsed))
         print(render_experiment(result))
-        print(f"({time.time() - t0:.1f}s)\n")
+        if args.stats:
+            row = result.metrics_row()
+            print(
+                f"stats: rows={row['rows']} "
+                f"checks={row['checks_passed']}/{row['checks_total']} "
+                f"passed={row['passed']}"
+            )
+        print(f"({elapsed:.1f}s)\n")
         if not result.passed:
             failures += 1
+    if args.metrics_json:
+        import json
+
+        from repro.experiments import suite_metrics
+
+        with open(args.metrics_json, "w") as fh:
+            json.dump(suite_metrics(runs), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote metrics to {args.metrics_json}")
     return 1 if failures else 0
 
 
@@ -160,6 +191,33 @@ def _fault_plan(args: argparse.Namespace):
             "retransmits legitimately exceed the per-round budgets"
         )
     return None if plan.is_empty() else plan
+
+
+def _print_stats(stats) -> None:
+    """Render the RunStats counters the protocol commands hide by default."""
+    print(f"  rounds      : {stats.rounds}")
+    print(f"  sent        : {stats.messages_sent}")
+    print(f"  delivered   : {stats.messages_delivered}")
+    print(f"  dropped     : {stats.messages_dropped}")
+    print(f"  duplicated  : {stats.messages_duplicated}")
+    print(f"  send backlog: {stats.max_send_backlog} (max outbox)")
+    print(f"  recv backlog: {stats.max_recv_backlog} (max link queue)")
+    print(f"  link wait   : {stats.total_link_wait} rounds total")
+
+
+def _metrics_registry(args: argparse.Namespace):
+    """A fresh registry when ``--metrics-json`` was given, else ``None``."""
+    if not getattr(args, "metrics_json", None):
+        return None
+    from repro.obs import MetricsRegistry
+
+    return MetricsRegistry()
+
+
+def _write_metrics(args: argparse.Namespace, registry) -> None:
+    if registry is not None:
+        registry.write_json(args.metrics_json)
+        print(f"  metrics     : wrote {args.metrics_json}")
 
 
 def _print_fault_summary(plan, stats) -> None:
@@ -191,8 +249,9 @@ def cmd_arrow(args: argparse.Namespace) -> int:
         def runner(**kw):
             return run_arrow(st, range(g.n), strict=args.strict, **kw)
 
+    registry = _metrics_registry(args)
     try:
-        res = runner()
+        res = runner(metrics=registry) if registry is not None else runner()
     except StrictModeViolation as exc:
         print(f"strict mode violation: {exc}")
         return 1
@@ -200,8 +259,11 @@ def cmd_arrow(args: argparse.Namespace) -> int:
     print(f"  total delay : {res.total_delay}")
     print(f"  max delay   : {res.max_delay}")
     print(f"  order       : {res.order()[:12]}{'...' if g.n > 12 else ''}")
+    if args.stats:
+        _print_stats(res.stats)
     if plan is not None:
         _print_fault_summary(plan, res.stats)
+    _write_metrics(args, registry)
     if args.sanitize:
         return _sanitize(lambda trace: runner(trace=trace))
     return 0
@@ -251,16 +313,20 @@ def cmd_count(args: argparse.Namespace) -> int:
         def runner(**kw):
             return base(strict=args.strict, **kw)
 
+    registry = _metrics_registry(args)
     try:
-        res = runner()
+        res = runner(metrics=registry) if registry is not None else runner()
     except StrictModeViolation as exc:
         print(f"strict mode violation: {exc}")
         return 1
     print(f"{g.name}: {res.algorithm}")
     print(f"  total delay : {res.total_delay}")
     print(f"  max delay   : {res.max_delay}")
+    if args.stats:
+        _print_stats(res.stats)
     if plan is not None:
         _print_fault_summary(plan, res.stats)
+    _write_metrics(args, registry)
     if args.sanitize:
         return _sanitize(lambda trace: runner(trace=trace))
     return 0
@@ -273,6 +339,122 @@ def _sanitize(build_and_run) -> int:
     report = check_determinism(build_and_run)
     print(f"  sanitizer   : {report.describe()}")
     return 0 if report.deterministic else 1
+
+
+#: Protocols the observability commands can run.
+OBS_PROTOCOLS = ("arrow", "combining", "central", "flood", "cnet", "periodic")
+
+
+def _proto_runner(args: argparse.Namespace):
+    """``(graph, runner)`` for one observability protocol run.
+
+    The runner accepts the engine observation kwargs (``trace``,
+    ``metrics``, ``profiler``) and honours ``--faults``/``--crash``/
+    ``--outage`` where the fault-tolerant variant exists.
+    """
+    g = _build_graph(args.graph, args.n)
+    plan = _fault_plan(args) if hasattr(args, "faults") else None
+    proto = args.protocol
+    if proto == "arrow":
+        from repro import run_arrow
+        from repro.topology.spanning import bfs_spanning_tree, path_spanning_tree
+
+        try:
+            st = path_spanning_tree(g)
+        except Exception:
+            st = bfs_spanning_tree(g)
+        if plan is not None:
+            from repro.faults import run_arrow_ft
+
+            return g, lambda **kw: run_arrow_ft(st, range(g.n), plan, **kw)
+        return g, lambda **kw: run_arrow(st, range(g.n), **kw)
+
+    from repro import (
+        run_central_counting,
+        run_combining_counting,
+        run_counting_network,
+        run_flood_counting,
+    )
+    from repro.counting import run_periodic_counting
+    from repro.topology.spanning import bfs_spanning_tree
+
+    if plan is not None:
+        from repro.faults import run_central_counting_ft, run_flood_counting_ft
+
+        ft = {
+            "central": lambda **kw: run_central_counting_ft(
+                g, range(g.n), plan, **kw
+            ),
+            "flood": lambda **kw: run_flood_counting_ft(g, range(g.n), plan, **kw),
+        }
+        if proto not in ft:
+            raise SystemExit(
+                f"fault injection supports protocols {sorted(ft)}, not {proto!r}"
+            )
+        return g, ft[proto]
+    runners = {
+        "combining": lambda **kw: run_combining_counting(
+            bfs_spanning_tree(g), range(g.n), **kw
+        ),
+        "central": lambda **kw: run_central_counting(g, range(g.n), **kw),
+        "flood": lambda **kw: run_flood_counting(g, range(g.n), **kw),
+        "cnet": lambda **kw: run_counting_network(g, range(g.n), **kw),
+        "periodic": lambda **kw: run_periodic_counting(g, range(g.n), **kw),
+    }
+    return g, runners[proto]
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsRegistry, write_chrome_trace, write_jsonl
+    from repro.sim import EventTrace
+
+    g, runner = _proto_runner(args)
+    trace = EventTrace()
+    registry = MetricsRegistry() if args.metrics_json else None
+    kw = {"trace": trace}
+    if registry is not None:
+        kw["metrics"] = registry
+    res = runner(**kw)
+
+    out = args.output or f"{args.protocol}.perfetto.json"
+    if out.endswith(".perfetto.json"):
+        base = out[: -len(".perfetto.json")]
+    elif out.endswith(".json"):
+        base = out[: -len(".json")]
+    else:
+        base = out
+    jsonl_path = args.jsonl or f"{base}.jsonl"
+    write_chrome_trace(
+        trace, out, label=f"{args.protocol} on {g.name}"
+    )
+    lines = write_jsonl(trace, jsonl_path)
+    print(f"{g.name}: {args.protocol}")
+    print(f"  rounds      : {res.stats.rounds}")
+    print(f"  events      : {len(trace)}")
+    print(f"  perfetto    : {out}  (open at https://ui.perfetto.dev)")
+    print(f"  jsonl       : {jsonl_path}  ({lines} lines)")
+    if registry is not None:
+        registry.write_json(args.metrics_json)
+        print(f"  metrics     : {args.metrics_json}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import PhaseProfiler
+
+    g, runner = _proto_runner(args)
+    prof = PhaseProfiler()
+    res = runner(profiler=prof)
+    print(f"{g.name}: {args.protocol} (total delay {res.total_delay})")
+    print(prof.render())
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(prof.to_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote profile to {args.json}")
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -304,6 +486,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=("test", "bench"), default="test",
         help="parameter scale (default: test)",
     )
+    run.add_argument("--stats", action="store_true",
+                     help="print a per-experiment summary line (rows, checks)")
+    run.add_argument("--metrics-json", metavar="PATH", default="",
+                     help="write a per-experiment metrics document as JSON")
     run.set_defaults(func=cmd_run)
 
     def add_fault_args(p: argparse.ArgumentParser) -> None:
@@ -322,6 +508,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="take link {U, V} down in rounds [S, E); repeatable",
         )
 
+    def add_obs_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--stats", action="store_true",
+                       help="print the engine's RunStats counters "
+                            "(messages, backlogs, link wait)")
+        p.add_argument("--metrics-json", metavar="PATH", default="",
+                       help="attach a metrics registry and write it as JSON")
+
     arrow = sub.add_parser("arrow", help="run the arrow protocol once")
     arrow.add_argument("--graph", default="complete",
                        choices=("complete", "path", "star", "mesh", "hypercube"))
@@ -330,6 +523,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-run and diff event traces for nondeterminism")
     arrow.add_argument("--strict", action="store_true",
                        help="raise on per-round send/receive budget overruns")
+    add_obs_args(arrow)
     add_fault_args(arrow)
     arrow.set_defaults(func=cmd_arrow)
 
@@ -343,8 +537,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-run and diff event traces for nondeterminism")
     count.add_argument("--strict", action="store_true",
                        help="raise on per-round send/receive budget overruns")
+    add_obs_args(count)
     add_fault_args(count)
     count.set_defaults(func=cmd_count)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a protocol with tracing on; write Perfetto JSON + JSONL",
+    )
+    trace.add_argument("protocol", choices=OBS_PROTOCOLS)
+    trace.add_argument("--graph", default="complete",
+                       choices=("complete", "path", "star", "mesh", "hypercube"))
+    trace.add_argument("--n", type=int, default=32)
+    trace.add_argument("-o", "--output", default="", metavar="PATH",
+                       help="Chrome trace-event JSON path "
+                            "(default: <protocol>.perfetto.json)")
+    trace.add_argument("--jsonl", default="", metavar="PATH",
+                       help="flat JSONL event-stream path "
+                            "(default: derived from -o)")
+    trace.add_argument("--metrics-json", metavar="PATH", default="",
+                       help="also attach a metrics registry and write it as JSON")
+    add_fault_args(trace)
+    trace.set_defaults(func=cmd_trace, strict=False)
+
+    profile = sub.add_parser(
+        "profile",
+        help="time the engine's per-round phases for one protocol run",
+    )
+    profile.add_argument("protocol", choices=OBS_PROTOCOLS)
+    profile.add_argument("--graph", default="complete",
+                         choices=("complete", "path", "star", "mesh", "hypercube"))
+    profile.add_argument("--n", type=int, default=32)
+    profile.add_argument("--json", default="", metavar="PATH",
+                         help="also write the profile document as JSON")
+    add_fault_args(profile)
+    profile.set_defaults(func=cmd_profile, strict=False)
 
     lint = sub.add_parser(
         "lint", help="statically check protocol code against the model rules"

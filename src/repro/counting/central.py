@@ -16,7 +16,7 @@ experiment.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Hashable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterable
 
 from repro.core.problem import CountingResult, QueuingResult
 from repro.core.verify import verify_counting, verify_queuing
@@ -146,6 +146,8 @@ def _run_central(
     max_rounds: int,
     delay_model: DelayModel | None = None,
     trace: EventTrace | None = None,
+    metrics: Any | None = None,
+    profiler: Any | None = None,
     strict: bool = False,
     node_wrapper: Callable[[Node], Node] | None = None,
     faults: "FaultPlan | None" = None,
@@ -174,6 +176,8 @@ def _run_central(
         recv_capacity=1,
         delay_model=delay_model,
         trace=trace,
+        metrics=metrics,
+        profiler=profiler,
         strict=strict,
         faults=faults,
     )
@@ -189,6 +193,8 @@ def run_central_counting(
     max_rounds: int = 50_000_000,
     delay_model: DelayModel | None = None,
     trace: EventTrace | None = None,
+    metrics: Any | None = None,
+    profiler: Any | None = None,
     strict: bool = False,
     node_wrapper: Callable[[Node], Node] | None = None,
     faults: "FaultPlan | None" = None,
@@ -202,6 +208,10 @@ def run_central_counting(
         max_rounds: engine safety limit.
         delay_model: optional link-delay model.
         trace: optional :class:`EventTrace` recording engine events.
+        metrics: optional :class:`repro.obs.MetricsRegistry` the engine
+            publishes into.
+        profiler: optional :class:`repro.obs.PhaseProfiler` timing the
+            engine phases.
         strict: enable the engine's strict per-round budget assertions.
         node_wrapper: optional adapter applied to every protocol node
             (e.g. :func:`repro.faults.wrap_reliable`).
@@ -210,8 +220,8 @@ def run_central_counting(
     """
     req = tuple(sorted(set(requests)))
     results, delays, net = _run_central(
-        graph, req, root, "count", max_rounds, delay_model, trace, strict,
-        node_wrapper, faults,
+        graph, req, root, "count", max_rounds, delay_model, trace, metrics,
+        profiler, strict, node_wrapper, faults,
     )
     counts = {v: int(c) for v, c in results.items()}
     verify_counting(req, counts)
@@ -232,6 +242,8 @@ def run_central_queuing(
     max_rounds: int = 50_000_000,
     delay_model: DelayModel | None = None,
     trace: EventTrace | None = None,
+    metrics: Any | None = None,
+    profiler: Any | None = None,
     strict: bool = False,
 ) -> QueuingResult:
     """Run central-server queuing (root returns each request's predecessor).
@@ -242,7 +254,8 @@ def run_central_queuing(
     """
     req = tuple(sorted(set(requests)))
     results, raw_delays, net = _run_central(
-        graph, req, root, "queue", max_rounds, delay_model, trace, strict
+        graph, req, root, "queue", max_rounds, delay_model, trace, metrics,
+        profiler, strict,
     )
     predecessors = {("op", v): pred for v, pred in results.items()}
     # Delays keyed by op id to match QueuingResult's convention.

@@ -22,7 +22,7 @@ degrades to ``Theta(n^2)``, matching Theorem 3.6's lower bound shape.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.core.problem import CountingResult
 from repro.core.verify import verify_counting
@@ -113,6 +113,8 @@ def run_combining_counting(
     max_rounds: int = 50_000_000,
     delay_model: DelayModel | None = None,
     trace: EventTrace | None = None,
+    metrics: Any | None = None,
+    profiler: Any | None = None,
     strict: bool = False,
 ) -> CountingResult:
     """Run combining-tree counting on a spanning tree; output verified.
@@ -144,6 +146,8 @@ def run_combining_counting(
         recv_capacity=capacity,
         delay_model=delay_model,
         trace=trace,
+        metrics=metrics,
+        profiler=profiler,
         strict=strict,
     )
     net.run(max_rounds=max_rounds)

@@ -21,7 +21,7 @@ all bits and have propagated them.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.core.problem import CountingResult
 from repro.core.verify import verify_counting
@@ -123,6 +123,8 @@ def run_flood_counting(
     max_rounds: int = 50_000_000,
     delay_model: DelayModel | None = None,
     trace: EventTrace | None = None,
+    metrics: Any | None = None,
+    profiler: Any | None = None,
     strict: bool = False,
     node_wrapper: Callable[[Node], Node] | None = None,
     faults: "FaultPlan | None" = None,
@@ -141,6 +143,8 @@ def run_flood_counting(
         recv_capacity=1,
         delay_model=delay_model,
         trace=trace,
+        metrics=metrics,
+        profiler=profiler,
         strict=strict,
         faults=faults,
     )

@@ -26,7 +26,7 @@ assigned value arrives back.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.core.problem import CountingResult
 from repro.core.verify import verify_counting
@@ -392,6 +392,8 @@ def run_counting_network(
     max_rounds: int = 50_000_000,
     delay_model: DelayModel | None = None,
     trace: EventTrace | None = None,
+    metrics: Any | None = None,
+    profiler: Any | None = None,
     strict: bool = False,
 ) -> CountingResult:
     """Run bitonic-counting-network counting on a graph; output verified.
@@ -422,6 +424,8 @@ def run_counting_network(
         recv_capacity=1,
         delay_model=delay_model,
         trace=trace,
+        metrics=metrics,
+        profiler=profiler,
         strict=strict,
     )
     net.run(max_rounds=max_rounds)

@@ -19,7 +19,7 @@ with the other wiring.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.core.problem import CountingResult
 from repro.counting.network import (
@@ -126,6 +126,8 @@ def run_periodic_counting(
     max_rounds: int = 50_000_000,
     delay_model: DelayModel | None = None,
     trace: EventTrace | None = None,
+    metrics: Any | None = None,
+    profiler: Any | None = None,
     strict: bool = False,
 ) -> CountingResult:
     """Distributed counting through an embedded periodic network.
@@ -154,6 +156,8 @@ def run_periodic_counting(
         recv_capacity=1,
         delay_model=delay_model,
         trace=trace,
+        metrics=metrics,
+        profiler=profiler,
         strict=strict,
     )
     net.run(max_rounds=max_rounds)

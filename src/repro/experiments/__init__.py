@@ -9,7 +9,7 @@ and EXPERIMENTS.md are both generated from these functions so the
 documented numbers are exactly the reproducible ones.
 """
 
-from repro.experiments.harness import Check, ExperimentResult
+from repro.experiments.harness import Check, ExperimentResult, suite_metrics
 from repro.experiments.report import render_experiment, render_table
 from repro.experiments.suite import (
     ALL_EXPERIMENTS,
@@ -35,6 +35,7 @@ from repro.experiments.suite import (
 __all__ = [
     "Check",
     "ExperimentResult",
+    "suite_metrics",
     "render_experiment",
     "render_table",
     "ALL_EXPERIMENTS",

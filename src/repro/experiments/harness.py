@@ -70,6 +70,44 @@ class ExperimentResult:
             raise AssertionError(f"{self.exp_id} failed checks:\n{msgs}")
         return self
 
+    def metrics_row(self) -> dict[str, Any]:
+        """A JSON-safe summary row for metrics export (``--metrics-json``)."""
+        return {
+            "experiment": self.exp_id,
+            "title": self.title,
+            "paper_ref": self.paper_ref,
+            "rows": len(self.rows),
+            "checks_total": len(self.checks),
+            "checks_passed": sum(1 for c in self.checks if c.passed),
+            "passed": self.passed,
+        }
+
+
+def suite_metrics(
+    runs: Sequence[tuple["ExperimentResult", float]]
+) -> dict[str, Any]:
+    """Aggregate metrics document for a batch of experiment runs.
+
+    Args:
+        runs: ``(result, elapsed_seconds)`` pairs in execution order.
+
+    Returns:
+        A JSON-safe document with one row per experiment plus totals —
+        what ``python -m repro run --metrics-json`` writes alongside the
+        rendered tables.
+    """
+    experiments = []
+    for result, elapsed in runs:
+        row = result.metrics_row()
+        row["elapsed_s"] = round(elapsed, 3)
+        experiments.append(row)
+    return {
+        "experiments": experiments,
+        "experiments_run": len(experiments),
+        "experiments_passed": sum(1 for r, _ in runs if r.passed),
+        "total_elapsed_s": round(sum(e for _, e in runs), 3),
+    }
+
 
 def fit_slope(rows: Sequence[Mapping[str, Any]], x_col: str, y_col: str) -> float:
     """Log-log growth exponent of ``y_col`` against ``x_col`` over the rows."""

@@ -94,18 +94,27 @@ class FaultInjector:
                 return c.end
         return round_ + 1  # pragma: no cover - callers check crashed() first
 
-    def tick(self, round_: int, stats, trace) -> None:
+    def tick(self, round_: int, stats, trace, metrics=None) -> None:
         """Emit crash/recover boundaries scheduled at or before ``round_``.
 
         ``stats`` gains one ``node_crashes`` increment per crash window
         entered; ``trace`` (when not ``None``) records the boundary with
         its *scheduled* round, even if the engine's idle jumps skipped
-        that round.
+        that round; ``metrics`` (when not ``None``) gains
+        ``faults.node_crashes``/``faults.node_recoveries`` counters and a
+        per-boundary sample so crash windows line up with the per-round
+        gauges.
         """
         while self._boundaries and self._boundaries[0][0] <= round_:
             at, event, node = self._boundaries.pop(0)
             if event == "crash":
                 stats.node_crashes += 1
+            if metrics is not None:
+                metrics.inc(
+                    "faults.node_crashes" if event == "crash"
+                    else "faults.node_recoveries"
+                )
+                metrics.sample(f"faults.{event}", at, node)
             if trace is not None:
                 trace.record(event, at, node=node)
 

@@ -144,6 +144,8 @@ class _ReliableContext:
             due=self._ctx.now + policy.timeout,
         )
         owner.pending[seq] = pending
+        if owner.metrics is not None:
+            owner.metrics.inc("reliable.app_sends")
         msg = self._ctx.send(dst, "rel", payload=(seq, kind, payload))
         owner._arm_timer(self._ctx)
         return msg
@@ -171,17 +173,31 @@ class ReliableNode(Node):
             message under a per-sender sequence number.
         ``ack``: payload ``seq`` — receipt confirmation, sent for every
             copy received (acks are not themselves acked).
+
+    When a :class:`repro.obs.MetricsRegistry` is attached (``metrics=``,
+    also reachable through :func:`wrap_reliable`), the wrapper publishes
+    the reliability overhead that aggregate message counts hide:
+    ``reliable.app_sends`` (application messages enveloped),
+    ``reliable.retransmits``, ``reliable.acks_sent``, and
+    ``reliable.duplicates_absorbed`` (copies suppressed by the
+    seen-set).  As everywhere, ``metrics=None`` costs nothing.
     """
 
     __slots__ = (
-        "inner", "policy", "next_seq", "pending", "seen", "armed",
+        "inner", "policy", "metrics", "next_seq", "pending", "seen", "armed",
         "inner_wakes", "_rctx",
     )
 
-    def __init__(self, inner: Node, policy: RetryPolicy | None = None) -> None:
+    def __init__(
+        self,
+        inner: Node,
+        policy: RetryPolicy | None = None,
+        metrics: Any | None = None,
+    ) -> None:
         super().__init__(inner.node_id)
         self.inner = inner
         self.policy = policy if policy is not None else RetryPolicy()
+        self.metrics = metrics
         self.next_seq = 0
         #: seq -> unacked envelope.
         self.pending: dict[int, _Pending] = {}
@@ -219,8 +235,12 @@ class ReliableNode(Node):
         if msg.kind == "rel":
             seq, kind, payload = msg.payload
             ctx.send(msg.src, "ack", payload=seq)
+            if self.metrics is not None:
+                self.metrics.inc("reliable.acks_sent")
             seen = self.seen.setdefault(msg.src, set())
             if seq in seen:
+                if self.metrics is not None:
+                    self.metrics.inc("reliable.duplicates_absorbed")
                 return  # duplicate (injected or retransmitted): ack only
             seen.add(seq)
             inner_msg = Message(
@@ -249,20 +269,23 @@ class ReliableNode(Node):
             p.attempts += 1
             p.interval = self.policy.next_interval(p.interval)
             p.due = t + p.interval
+            if self.metrics is not None:
+                self.metrics.inc("reliable.retransmits")
             ctx.send(p.dst, "rel", payload=(seq, p.kind, p.payload))
         self._arm_timer(ctx)
 
 
-def wrap_reliable(policy: RetryPolicy | None = None):
+def wrap_reliable(policy: RetryPolicy | None = None, metrics: Any | None = None):
     """A node-wrapper callable for runners' ``node_wrapper`` hooks.
 
     ``run_arrow(..., node_wrapper=wrap_reliable())`` wraps every protocol
-    node in a :class:`ReliableNode` sharing one :class:`RetryPolicy`.
+    node in a :class:`ReliableNode` sharing one :class:`RetryPolicy` (and
+    optionally one metrics registry).
     """
     policy = policy if policy is not None else RetryPolicy()
 
     def _wrap(node: Node) -> ReliableNode:
-        return ReliableNode(node, policy)
+        return ReliableNode(node, policy, metrics=metrics)
 
     return _wrap
 

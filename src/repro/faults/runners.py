@@ -16,7 +16,7 @@ below are generous.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.arrow.runner import ArrowResult, run_arrow
 from repro.core.problem import CountingResult
@@ -39,6 +39,8 @@ def run_arrow_ft(
     delay_model: DelayModel | None = None,
     max_rounds: int = 10_000_000,
     trace: EventTrace | None = None,
+    metrics: Any | None = None,
+    profiler: Any | None = None,
     policy: RetryPolicy | None = None,
 ) -> ArrowResult:
     """Arrow queuing under ``plan`` with reliable delivery.
@@ -56,7 +58,9 @@ def run_arrow_ft(
         delay_model=delay_model,
         max_rounds=max_rounds,
         trace=trace,
-        node_wrapper=wrap_reliable(policy),
+        metrics=metrics,
+        profiler=profiler,
+        node_wrapper=wrap_reliable(policy, metrics=metrics),
         faults=plan,
     )
 
@@ -70,6 +74,8 @@ def run_central_counting_ft(
     max_rounds: int = 50_000_000,
     delay_model: DelayModel | None = None,
     trace: EventTrace | None = None,
+    metrics: Any | None = None,
+    profiler: Any | None = None,
     policy: RetryPolicy | None = None,
 ) -> CountingResult:
     """Central-counter counting under ``plan`` with reliable delivery."""
@@ -80,7 +86,9 @@ def run_central_counting_ft(
         max_rounds=max_rounds,
         delay_model=delay_model,
         trace=trace,
-        node_wrapper=wrap_reliable(policy),
+        metrics=metrics,
+        profiler=profiler,
+        node_wrapper=wrap_reliable(policy, metrics=metrics),
         faults=plan,
     )
 
@@ -93,6 +101,8 @@ def run_flood_counting_ft(
     max_rounds: int = 50_000_000,
     delay_model: DelayModel | None = None,
     trace: EventTrace | None = None,
+    metrics: Any | None = None,
+    profiler: Any | None = None,
     policy: RetryPolicy | None = None,
 ) -> CountingResult:
     """Flood-and-rank counting under ``plan`` with reliable delivery."""
@@ -102,7 +112,9 @@ def run_flood_counting_ft(
         max_rounds=max_rounds,
         delay_model=delay_model,
         trace=trace,
-        node_wrapper=wrap_reliable(policy),
+        metrics=metrics,
+        profiler=profiler,
+        node_wrapper=wrap_reliable(policy, metrics=metrics),
         faults=plan,
     )
 

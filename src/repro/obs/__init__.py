@@ -1,0 +1,54 @@
+"""Observability: metrics, trace export, and engine profiling.
+
+The package has three sibling layers, all opt-in and all zero-cost when
+not attached:
+
+* :mod:`repro.obs.registry` — :class:`MetricsRegistry`: counters,
+  gauges, and fixed-bucket histograms that the engine, fault injector,
+  and reliable-delivery wrapper publish into
+  (``SynchronousNetwork(..., metrics=reg)`` or the runners' ``metrics=``
+  kwarg);
+* :mod:`repro.obs.export` — :func:`chrome_trace` / :func:`jsonl_lines`:
+  turn an :class:`~repro.sim.trace.EventTrace` into Chrome/Perfetto
+  ``trace_event`` JSON (open it at https://ui.perfetto.dev) or a flat
+  JSONL event stream;
+* :mod:`repro.obs.profile` — :class:`PhaseProfiler`: wall-clock timing
+  of the engine's per-round phases (``profiler=`` kwarg), reported as a
+  hottest-first table.
+
+CLI surfaces: ``python -m repro trace <proto>``, ``python -m repro
+profile <proto>``, and ``--metrics-json``/``--stats`` on
+``run``/``arrow``/``count``.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.export import (
+    FAULT_EVENT_KINDS,
+    ROUND_US,
+    chrome_trace,
+    jsonl_lines,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.profile import PhaseProfiler
+from repro.obs.registry import (
+    DEFAULT_ROUND_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_ROUND_BUCKETS",
+    "chrome_trace",
+    "write_chrome_trace",
+    "jsonl_lines",
+    "write_jsonl",
+    "ROUND_US",
+    "FAULT_EVENT_KINDS",
+    "PhaseProfiler",
+]

@@ -89,6 +89,15 @@ class DelaySummary:
     maximum: int
     mean: float
 
+    def to_dict(self) -> dict[str, float | int]:
+        """JSON-safe form (what metrics exports and reports embed)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
 
 def summarize_delays(delays: Mapping[Hashable, int] | Iterable[int]) -> DelaySummary:
     """Reduce per-operation delays to (count, total, max, mean).

@@ -109,6 +109,21 @@ class SynchronousNetwork:
             delay; defaults to the paper's synchronous unit delay.  See
             :mod:`repro.sim.delays` for the asynchronous extensions.
         trace: optional :class:`EventTrace` to record engine events into.
+        metrics: optional :class:`repro.obs.MetricsRegistry` (duck-typed:
+            anything with ``inc``/``set_gauge``/``observe``/``sample``).
+            When attached, the engine publishes message counters, per-op
+            completion-delay and link-wait histograms, and per-round
+            in-flight/backlog gauges; when ``None`` (the default) every
+            instrumented call site reduces to one ``is not None`` check,
+            so the run is unobserved at zero cost.  ``RunStats`` stays
+            the always-on thin aggregate view; an attached registry
+            reproduces it exactly (``metrics.run_stats_view()``).
+        profiler: optional :class:`repro.obs.PhaseProfiler` (duck-typed:
+            ``clock``/``add``/``tick_round``).  Times the engine phases
+            (send drain, delivery, wakeups, fault ticks, and the nested
+            protocol ``on_receive`` compute) per executed round.  Pure
+            observation: a profiled run is event-for-event identical to
+            an unprofiled one.
         strict: when true, exceeding a per-round send or receive budget
             raises :class:`StrictModeViolation` instead of queuing the
             excess.  Opt-in: contention-by-design protocols (the paper's
@@ -135,6 +150,8 @@ class SynchronousNetwork:
         recv_capacity: int = 1,
         delay_model: DelayModel | None = None,
         trace: EventTrace | None = None,
+        metrics: Any | None = None,
+        profiler: Any | None = None,
         strict: bool = False,
         faults: Any | None = None,
     ) -> None:
@@ -155,6 +172,10 @@ class SynchronousNetwork:
         self.delays = DelayRecorder()
         self.stats = RunStats()
         self.trace = trace
+        # Observability hooks (see repro.obs).  Both are duck-typed so the
+        # engine never imports the obs package; None disables publishing.
+        self.metrics = metrics
+        self.profiler = profiler
         self.strict = strict
         # Runtime fault state, or None for fault-free runs.  Duck-typed
         # (see repro.faults.injector.FaultInjector) so the engine never
@@ -223,11 +244,25 @@ class SynchronousNetwork:
 
         self.now = 0
         inj = self._injector
+        met = self.metrics
+        prof = self.profiler
+        t_run = prof.clock() if prof is not None else 0.0
         if inj is not None:
-            inj.tick(0, self.stats, self.trace)
-        for v in sorted(self._nodes):
-            self._nodes[v].on_start(self._ctx[v])
-        self._send_phase()
+            inj.tick(0, self.stats, self.trace, met)
+        if prof is None:
+            for v in sorted(self._nodes):
+                self._nodes[v].on_start(self._ctx[v])
+        else:
+            t0 = prof.clock()
+            for v in sorted(self._nodes):
+                self._nodes[v].on_start(self._ctx[v])
+            prof.add("node.on_start", prof.clock() - t0)
+        if prof is None:
+            self._send_phase()
+        else:
+            t0 = prof.clock()
+            self._send_phase()
+            prof.add("send", prof.clock() - t0)
 
         while self._in_flight > 0 or self._wakeups:
             self.now += 1
@@ -238,14 +273,38 @@ class SynchronousNetwork:
                     pending_nodes=self._pending_nodes(),
                     oldest=self._oldest_undelivered(),
                 )
-            if inj is not None:
-                inj.tick(self.now, self.stats, self.trace)
-            self._wake_phase()
-            self._receive_phase()
-            self._send_phase()
+            if prof is None:
+                if inj is not None:
+                    inj.tick(self.now, self.stats, self.trace, met)
+                self._wake_phase()
+                self._receive_phase()
+                self._send_phase()
+            else:
+                prof.tick_round()
+                t0 = prof.clock()
+                if inj is not None:
+                    inj.tick(self.now, self.stats, self.trace, met)
+                    t1 = prof.clock()
+                    prof.add("faults.tick", t1 - t0)
+                    t0 = t1
+                self._wake_phase()
+                t1 = prof.clock()
+                prof.add("wake", t1 - t0)
+                self._receive_phase()
+                t0 = prof.clock()
+                prof.add("receive", t0 - t1)
+                self._send_phase()
+                prof.add("send", prof.clock() - t0)
+            if met is not None:
+                met.set_gauge("engine.in_flight", self._in_flight)
+                met.sample("engine.in_flight", self.now, self._in_flight)
             self._maybe_jump(max_rounds)
 
         self.stats.rounds = self.now
+        if met is not None:
+            met.set_gauge("engine.rounds", self.now)
+        if prof is not None:
+            prof.wall += prof.clock() - t_run
         return self.stats
 
     def _pending_nodes(self) -> tuple[int, ...]:
@@ -290,6 +349,8 @@ class SynchronousNetwork:
         self._in_flight += 1
         if len(box) > self.stats.max_send_backlog:
             self.stats.max_send_backlog = len(box)
+        if self.metrics is not None:
+            self.metrics.set_gauge("engine.send_backlog", len(box))
         if self.trace is not None:
             self.trace.record("enqueue", self.now, src=src, dst=dst, kind=kind)
         return msg
@@ -344,12 +405,17 @@ class SynchronousNetwork:
 
     def _record_completion(self, op_id: Any, result: Any, node_id: int) -> None:
         self.delays.record(op_id, self.now, result=result, at_node=node_id)
+        if self.metrics is not None:
+            self.metrics.inc("engine.completions")
+            self.metrics.observe("op.delay", self.now)
         if self.trace is not None:
             self.trace.record("complete", self.now, node=node_id, op=op_id)
 
     def _receive_phase(self) -> None:
         t = self.now
         inj = self._injector
+        met = self.metrics
+        prof = self.profiler
         # Snapshot: only nodes with a non-empty ready heap can receive.
         receivers = sorted(v for v, h in self._ready.items() if h)
         for v in receivers:
@@ -373,12 +439,22 @@ class SynchronousNetwork:
                 self._in_flight -= 1
                 budget -= 1
                 self.stats.messages_delivered += 1
-                self.stats.total_link_wait += msg.link_wait()
+                wait = msg.link_wait()
+                self.stats.total_link_wait += wait
+                if met is not None:
+                    met.inc("engine.messages_delivered")
+                    met.inc("engine.link_wait_total", wait)
+                    met.observe("msg.link_wait", wait)
                 if self.trace is not None:
                     self.trace.record(
-                        "deliver", t, src=src, dst=v, kind=msg.kind, wait=msg.link_wait()
+                        "deliver", t, src=src, dst=v, kind=msg.kind, wait=wait
                     )
-                node.on_receive(msg, ctx)
+                if prof is None:
+                    node.on_receive(msg, ctx)
+                else:
+                    t0 = prof.clock()
+                    node.on_receive(msg, ctx)
+                    prof.add("node.on_receive", prof.clock() - t0)
             if self.strict and heap and heap[0][0] <= t:
                 raise StrictModeViolation(v, t, "receive", self.recv_capacity)
 
@@ -401,6 +477,8 @@ class SynchronousNetwork:
                         # the message never enters the link.
                         self._in_flight -= 1
                         self.stats.messages_dropped += 1
+                        if self.metrics is not None:
+                            self.metrics.inc("engine.messages_dropped")
                         if self.trace is not None:
                             self.trace.record(
                                 "drop", t, src=u, dst=msg.dst, kind=msg.kind,
@@ -417,6 +495,8 @@ class SynchronousNetwork:
                     clone.sent_at = t
                     self._in_flight += 1
                     self.stats.messages_duplicated += 1
+                    if self.metrics is not None:
+                        self.metrics.inc("engine.messages_duplicated")
                     self._link_entry(clone, u, t)
                     if self.trace is not None:
                         self.trace.record(
@@ -439,6 +519,9 @@ class SynchronousNetwork:
                 heap = self._ready[msg.dst] = []
             heapq.heappush(heap, (msg.ready_at, msg.seq, u))
         self.stats.messages_sent += 1
+        if self.metrics is not None:
+            self.metrics.inc("engine.messages_sent")
+            self.metrics.set_gauge("engine.recv_backlog", len(q))
         if self.trace is not None:
             self.trace.record("send", t, src=u, dst=msg.dst, kind=msg.kind)
 
@@ -451,6 +534,8 @@ def run_protocol(
     recv_capacity: int = 1,
     max_rounds: int = 1_000_000,
     trace: EventTrace | None = None,
+    metrics: Any | None = None,
+    profiler: Any | None = None,
     strict: bool = False,
 ) -> SynchronousNetwork:
     """Convenience wrapper: build a network, run it, return it.
@@ -464,6 +549,8 @@ def run_protocol(
         send_capacity=send_capacity,
         recv_capacity=recv_capacity,
         trace=trace,
+        metrics=metrics,
+        profiler=profiler,
         strict=strict,
     )
     net.run(max_rounds=max_rounds)

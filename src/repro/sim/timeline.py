@@ -18,7 +18,11 @@ def render_timeline(trace: EventTrace, max_rounds: int | None = None) -> str:
 
     Each round shows message deliveries (``src->dst kind``, with a
     ``+wait`` suffix when the message waited at the receiver beyond its
-    link delay) and operation completions (``node!op``).
+    link delay) and operation completions (``node!op``).  Injected
+    faults render too: drops as ``src-x>dst kind`` (with `` (outage)``
+    when a link outage ate the message rather than random loss),
+    duplicated sends as ``src=>dst kind x2``, and crash windows as
+    ``crash node`` / ``recover node``.
 
     Args:
         trace: the engine trace (pass ``trace=EventTrace()`` to the
@@ -35,6 +39,17 @@ def render_timeline(trace: EventTrace, max_rounds: int | None = None) -> str:
             )
         elif e.kind == "complete":
             by_round[e.round].append(f"{e.data['node']}!{e.data['op']}")
+        elif e.kind == "drop":
+            suffix = " (outage)" if e.data.get("reason") == "outage" else ""
+            by_round[e.round].append(
+                f"{e.data['src']}-x>{e.data['dst']} {e.data['kind']}{suffix}"
+            )
+        elif e.kind == "duplicate":
+            by_round[e.round].append(
+                f"{e.data['src']}=>{e.data['dst']} {e.data['kind']} x2"
+            )
+        elif e.kind in ("crash", "recover"):
+            by_round[e.round].append(f"{e.kind} {e.data['node']}")
     if not by_round:
         return "(no events)"
     rounds = sorted(by_round)

@@ -20,7 +20,9 @@ class TraceEvent:
     Attributes:
         kind: ``"enqueue"`` (protocol called send), ``"send"`` (message
             entered a link), ``"deliver"`` (message processed by receiver),
-            or ``"complete"`` (operation finished).
+            or ``"complete"`` (operation finished).  With a fault plan
+            attached the injector adds ``"drop"``, ``"duplicate"``,
+            ``"crash"`` and ``"recover"`` events.
         round: round in which the event happened.
         data: event-specific fields (src, dst, kind of message, ...).
     """
@@ -53,6 +55,15 @@ class EventTrace:
     def of_kind(self, kind: str) -> list[TraceEvent]:
         """All events of one kind, in order."""
         return [e for e in self.events if e.kind == kind]
+
+    def fault_events(self) -> list[TraceEvent]:
+        """All injected-fault events (drop/duplicate/crash/recover), in order."""
+        kinds = ("drop", "duplicate", "crash", "recover")
+        return [e for e in self.events if e.kind in kinds]
+
+    def last_round(self) -> int:
+        """The latest round any event was recorded in (0 when empty)."""
+        return max((e.round for e in self.events), default=0)
 
     def deliveries_per_node_round(self) -> Counter[tuple[int, int]]:
         """Counter ``(node, round) -> deliveries`` for capacity checks."""

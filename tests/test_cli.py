@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -50,6 +52,85 @@ class TestProtocols:
     def test_unknown_graph_rejected(self):
         with pytest.raises(SystemExit):
             main(["arrow", "--graph", "petersen"])
+
+
+class TestStats:
+    def test_arrow_stats(self, capsys):
+        assert main(["arrow", "--graph", "path", "--n", "8", "--stats"]) == 0
+        out = capsys.readouterr().out
+        for needle in ("rounds", "sent", "delivered", "link wait"):
+            assert needle in out
+
+    def test_count_stats_and_metrics_json(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        assert main(["count", "--algorithm", "flood", "--n", "8",
+                     "--stats", "--metrics-json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "dropped" in out and str(path) in out
+        doc = json.loads(path.read_text())
+        assert doc["counters"]["engine.messages_sent"] > 0
+        assert doc["histograms"]["op.delay"]["count"] == 8
+
+    def test_run_stats_and_metrics_json(self, tmp_path, capsys):
+        path = tmp_path / "suite.json"
+        assert main(["run", "E1", "--stats", "--metrics-json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "stats: rows=" in out
+        doc = json.loads(path.read_text())
+        assert doc["experiments_run"] == 1
+        assert doc["experiments"][0]["experiment"] == "E1"
+
+
+class TestTrace:
+    def test_trace_arrow_writes_valid_chrome_json(self, tmp_path, capsys):
+        out_path = tmp_path / "t.perfetto.json"
+        assert main(["trace", "arrow", "--graph", "path", "--n", "8",
+                     "-o", str(out_path)]) == 0
+        printed = capsys.readouterr().out
+        assert "perfetto" in printed
+        doc = json.loads(out_path.read_text())
+        for e in doc["traceEvents"]:
+            assert "ph" in e and "pid" in e
+            if e["ph"] != "M":
+                assert "ts" in e
+        jsonl = tmp_path / "t.jsonl"
+        assert jsonl.exists()
+        for line in jsonl.read_text().splitlines():
+            json.loads(line)
+
+    def test_trace_with_metrics_json(self, tmp_path):
+        out_path = tmp_path / "f.json"
+        metrics = tmp_path / "fm.json"
+        assert main(["trace", "flood", "--n", "8", "-o", str(out_path),
+                     "--metrics-json", str(metrics)]) == 0
+        assert json.loads(metrics.read_text())["counters"]["engine.messages_sent"] > 0
+
+    def test_trace_with_faults_renders_drops(self, tmp_path):
+        out_path = tmp_path / "c.perfetto.json"
+        assert main(["trace", "central", "--graph", "star", "--n", "8",
+                     "-o", str(out_path),
+                     "--faults", "drop=0.2,seed=5,runs=2"]) == 0
+        doc = json.loads(out_path.read_text())
+        assert any(e["name"].startswith("drop ") for e in doc["traceEvents"])
+
+    def test_trace_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "paxos"])
+
+
+class TestProfile:
+    def test_profile_prints_phase_table(self, capsys):
+        assert main(["profile", "flood", "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "rounds executed" in out
+        assert "receive" in out
+
+    def test_profile_json(self, tmp_path):
+        path = tmp_path / "p.json"
+        assert main(["profile", "arrow", "--n", "8", "--json", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["rounds"] >= 1
+        assert {r["phase"] for r in doc["phases"]} >= {"send"}
 
 
 class TestParser:

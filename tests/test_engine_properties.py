@@ -132,6 +132,30 @@ class TestTimeline:
     def test_render_empty(self):
         assert render_timeline(EventTrace()) == "(no events)"
 
+    def test_render_fault_events(self):
+        trace = EventTrace()
+        trace.record("drop", 3, src=0, dst=1, kind="req", reason="drop")
+        trace.record("drop", 4, src=1, dst=2, kind="req", reason="outage")
+        trace.record("duplicate", 5, src=2, dst=3, kind="ack")
+        trace.record("crash", 6, node=4)
+        trace.record("recover", 9, node=4)
+        text = render_timeline(trace)
+        assert "0-x>1 req" in text
+        assert "1-x>2 req (outage)" in text
+        assert "2=>3 ack x2" in text
+        assert "crash 4" in text
+        assert "recover 4" in text
+
+    def test_render_faulty_run(self):
+        from repro.faults import FaultPlan, LinkOutage, run_flood_counting_ft
+        from repro.topology import path_graph
+
+        trace = EventTrace()
+        plan = FaultPlan(outages=(LinkOutage(0, 1, 0, 2),))
+        run_flood_counting_ft(path_graph(4), range(4), plan, trace=trace)
+        text = render_timeline(trace)
+        assert "-x>" in text and "(outage)" in text
+
     def test_truncation(self):
         from repro.topology import path_graph
 

@@ -120,6 +120,20 @@ def _case_sweep() -> Any:
     return _doc(tr, r.stats, counts=sorted(r.counts.items()), delays=sorted(r.delays.items()))
 
 
+def _case_arrow_perfetto() -> Any:
+    """The Chrome trace-event export of the arrow case, pinned exactly.
+
+    Guards the exporter's whole output contract — span pairing via FIFO
+    link order, timestamps (1 round = 1000 us), track metadata, counter
+    samples, and the deterministic event sort.
+    """
+    from repro.obs import chrome_trace
+
+    tr = EventTrace()
+    run_arrow(path_spanning_tree(path_graph(8)), range(8), trace=tr)
+    return _canonical(chrome_trace(tr, label="arrow path-8"))
+
+
 CASES = {
     "arrow": _case_arrow,
     "central_counting": _case_central_counting,
@@ -129,6 +143,7 @@ CASES = {
     "cnet": _case_cnet,
     "periodic": _case_periodic,
     "sweep": _case_sweep,
+    "arrow_perfetto": _case_arrow_perfetto,
 }
 
 
