@@ -45,58 +45,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
-from typing import Callable
 
 from repro.experiments import ALL_EXPERIMENTS, render_experiment
 from repro.sim.errors import StrictModeViolation
-
-
-def _bench_scale() -> dict[str, Callable]:
-    """Larger parameterisations, mirroring the benchmark suite."""
-    from repro.experiments.suite import (
-        run_e2_thm35_general_lower_bound,
-        run_e4_thm36_diameter_lower_bound,
-        run_e5_thm41_arrow_vs_tsp,
-        run_e6_lemma43_list_tsp,
-        run_e7_thm47_tree_tsp,
-        run_e9_thm45_hamilton,
-        run_e10_thm412_mary,
-        run_e12_star_counterexample,
-        run_e16_longlived,
-        run_e17_async_robustness,
-        run_e18_network_duel,
-        run_e19_addition,
-        run_e20_directory,
-    )
-
-    return {
-        "E2": lambda: run_e2_thm35_general_lower_bound(sizes=(8, 16, 32, 64, 128)),
-        "E4": lambda: run_e4_thm36_diameter_lower_bound(
-            list_sizes=(16, 32, 64, 128, 256), mesh_sides=(3, 4, 6, 8)
-        ),
-        "E5": lambda: run_e5_thm41_arrow_vs_tsp(
-            sizes=(8, 16, 32, 64, 96), seeds=(0, 1, 2, 3, 4, 5)
-        ),
-        "E6": lambda: run_e6_lemma43_list_tsp(sizes=(16, 64, 256, 1024, 4096)),
-        "E7": lambda: run_e7_thm47_tree_tsp(
-            depths=(3, 4, 5, 6, 7, 8, 9, 10), mary_depths=(2, 3, 4, 5)
-        ),
-        "E9": lambda: run_e9_thm45_hamilton(
-            complete_sizes=(8, 16, 32, 64, 128),
-            mesh_sides=(3, 4, 6, 8),
-            hypercube_dims=(3, 4, 5, 6, 7),
-        ),
-        "E10": lambda: run_e10_thm412_mary(
-            binary_sizes=(15, 31, 63, 127, 255), ternary_depths=(2, 3, 4)
-        ),
-        "E12": lambda: run_e12_star_counterexample(sizes=(8, 16, 32, 64, 128)),
-        "E16": lambda: run_e16_longlived(n=128, horizons=(1, 16, 64, 256, 1024)),
-        "E17": lambda: run_e17_async_robustness(sizes=(8, 16, 32, 64)),
-        "E18": lambda: run_e18_network_duel(sizes=(8, 16, 32, 64)),
-        "E19": lambda: run_e19_addition(sizes=(15, 31, 63, 127)),
-        "E20": lambda: run_e20_directory(sizes=(16, 32, 64, 128)),
-    }
 
 
 def _build_graph(name: str, n: int):
@@ -132,24 +83,21 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.executor import run_suite
+
     targets = (
         sorted(ALL_EXPERIMENTS, key=lambda e: int(e[1:]))
         if args.experiment.lower() == "all"
         else [args.experiment.upper()]
     )
-    bench = _bench_scale() if args.scale == "bench" else {}
-    failures = 0
-    runs = []
     for exp_id in targets:
         if exp_id not in ALL_EXPERIMENTS:
             raise SystemExit(
                 f"unknown experiment {exp_id!r}; try `python -m repro list`"
             )
-        fn = bench.get(exp_id, ALL_EXPERIMENTS[exp_id])
-        t0 = time.time()
-        result = fn()
-        elapsed = time.time() - t0
-        runs.append((result, elapsed))
+    runs = run_suite(targets, scale=args.scale, jobs=args.jobs)
+    failures = 0
+    for result, elapsed in runs:
         print(render_experiment(result))
         if args.stats:
             row = result.metrics_row()
@@ -469,6 +417,42 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.perf import compare_benchmarks, render_bench, run_bench
+
+    try:
+        doc = run_bench(
+            repeats=args.repeats,
+            fallback=not args.no_fallback,
+            names=args.cells or None,
+        )
+    except KeyError as exc:
+        raise SystemExit(f"bench: {exc}")
+    print(render_bench(doc))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote benchmark document to {args.json}")
+    if args.compare:
+        try:
+            with open(args.compare) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"bench: cannot read baseline {args.compare!r}: {exc}")
+        failures = compare_benchmarks(doc, baseline, threshold=args.threshold)
+        if failures:
+            print(f"\nREGRESSION vs {args.compare}:")
+            for msg in failures:
+                print(f"  {msg}")
+            return 1
+        print(f"\nno regression vs {args.compare} "
+              f"(threshold {args.threshold:.0%})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -485,6 +469,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--scale", choices=("test", "bench"), default="test",
         help="parameter scale (default: test)",
+    )
+    run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run experiment cells on N worker processes (default: 1; "
+             "results and output order are identical, only wall-clock "
+             "changes)",
     )
     run.add_argument("--stats", action="store_true",
                      help="print a per-experiment summary line (rows, checks)")
@@ -581,6 +571,25 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--format", choices=("text", "json"), default="text",
                       help="findings output format (default: text)")
     lint.set_defaults(func=cmd_lint)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time engine throughput on the fixed protocol x topology matrix",
+    )
+    bench.add_argument("--json", default="", metavar="PATH",
+                       help="write the benchmark document as JSON")
+    bench.add_argument("--repeats", type=int, default=1, metavar="N",
+                       help="timings per cell; the best is kept (default: 1)")
+    bench.add_argument("--cells", action="append", default=[], metavar="NAME",
+                       help="run only this cell (repeatable), e.g. flood/path/512")
+    bench.add_argument("--no-fallback", action="store_true",
+                       help="skip the generic-path timings (fast path only)")
+    bench.add_argument("--compare", default="", metavar="BASELINE",
+                       help="exit 1 on normalised throughput regression vs a "
+                            "baseline document (see docs/PERFORMANCE.md)")
+    bench.add_argument("--threshold", type=float, default=0.25, metavar="FRAC",
+                       help="allowed fractional regression (default: 0.25)")
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -9,6 +9,7 @@ and EXPERIMENTS.md are both generated from these functions so the
 documented numbers are exactly the reproducible ones.
 """
 
+from repro.experiments.executor import resolve_cell, run_cell, run_suite
 from repro.experiments.harness import Check, ExperimentResult, suite_metrics
 from repro.experiments.report import render_experiment, render_table
 from repro.experiments.suite import (
@@ -36,6 +37,9 @@ __all__ = [
     "Check",
     "ExperimentResult",
     "suite_metrics",
+    "resolve_cell",
+    "run_cell",
+    "run_suite",
     "render_experiment",
     "render_table",
     "ALL_EXPERIMENTS",

@@ -1,0 +1,93 @@
+"""Parallel experiment execution over a process pool.
+
+Every experiment cell — one ``(experiment id, scale)`` pair — is
+deterministic and shares nothing with any other cell: it builds its own
+topologies, runs its own simulations, and returns a self-contained
+:class:`~repro.experiments.harness.ExperimentResult`.  The suite is
+therefore embarrassingly parallel, and this module fans cells out over a
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Only plain strings cross the process boundary going in (the cell
+coordinates; workers re-resolve the experiment callables from the
+registry locally, since the bench-scale lambdas do not pickle) and
+``ExperimentResult`` dataclasses coming back.  Results are reassembled
+in submission order, so ``run_suite(ids, jobs=4)`` yields the same
+sequence of results as ``jobs=1`` — only the per-cell wall-clock
+timings differ.  ``repro run --jobs N`` is the CLI surface.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.harness import ExperimentResult
+
+
+def resolve_cell(exp_id: str, scale: str = "test") -> Callable[[], "ExperimentResult"]:
+    """The zero-argument callable for one experiment cell.
+
+    Args:
+        exp_id: experiment id from the registry, e.g. ``"E4"``.
+        scale: ``"test"`` (suite defaults) or ``"bench"`` (the larger
+            parameterisations from :func:`repro.experiments.suite.bench_scale`;
+            experiments without a bench entry fall back to their defaults).
+
+    Raises:
+        KeyError: for an unknown experiment id.
+    """
+    from repro.experiments.suite import ALL_EXPERIMENTS, bench_scale
+
+    if exp_id not in ALL_EXPERIMENTS:
+        raise KeyError(f"unknown experiment {exp_id!r}")
+    if scale == "bench":
+        fn = bench_scale().get(exp_id)
+        if fn is not None:
+            return fn
+    return ALL_EXPERIMENTS[exp_id]
+
+
+def run_cell(exp_id: str, scale: str = "test") -> tuple["ExperimentResult", float]:
+    """Run one cell and return ``(result, elapsed_seconds)``.
+
+    Module-level (not a closure) so a process pool can pickle it by
+    reference; the worker resolves the experiment callable locally.
+    """
+    fn = resolve_cell(exp_id, scale)
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def run_suite(
+    exp_ids: Sequence[str],
+    *,
+    scale: str = "test",
+    jobs: int = 1,
+) -> list[tuple["ExperimentResult", float]]:
+    """Run experiment cells, optionally fanned out over worker processes.
+
+    Args:
+        exp_ids: experiment ids in the order results should come back.
+        scale: ``"test"`` or ``"bench"`` (see :func:`resolve_cell`).
+        jobs: worker processes; ``1`` (the default) runs everything in
+            this process with no pool.
+
+    Returns:
+        ``(result, elapsed_seconds)`` pairs in ``exp_ids`` order —
+        independent of ``jobs``, which only changes wall-clock timing.
+
+    Raises:
+        KeyError: for an unknown experiment id (validated up front, so a
+            bad id fails fast instead of mid-fan-out).
+    """
+    ids = list(exp_ids)
+    for exp_id in ids:
+        resolve_cell(exp_id, scale)  # validate before spawning workers
+    if jobs <= 1 or len(ids) <= 1:
+        return [run_cell(exp_id, scale) for exp_id in ids]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(ids))) as pool:
+        futures = [pool.submit(run_cell, exp_id, scale) for exp_id in ids]
+        return [f.result() for f in futures]

@@ -12,7 +12,7 @@ pass larger ``sizes`` for publication-scale sweeps.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -1332,3 +1332,43 @@ ALL_EXPERIMENTS = {
     "E20": run_e20_directory,
     "E21": run_e21_fault_tolerance,
 }
+
+
+def bench_scale() -> dict[str, Callable[[], ExperimentResult]]:
+    """Benchmark-scale parameterisations (suite defaults are test-scale).
+
+    The single source of truth for what ``--scale bench`` means — the CLI
+    and ``benchmarks/generate_experiments_md.py`` both use it.  Entries
+    are zero-argument callables; experiments without an entry run at
+    their defaults even at bench scale.
+    """
+    return {
+        "E2": lambda: run_e2_thm35_general_lower_bound(sizes=(8, 16, 32, 64, 128)),
+        "E4": lambda: run_e4_thm36_diameter_lower_bound(
+            list_sizes=(16, 32, 64, 128, 256), mesh_sides=(3, 4, 6, 8)
+        ),
+        "E5": lambda: run_e5_thm41_arrow_vs_tsp(
+            sizes=(8, 16, 32, 64, 96), seeds=(0, 1, 2, 3, 4, 5)
+        ),
+        "E6": lambda: run_e6_lemma43_list_tsp(sizes=(16, 64, 256, 1024, 4096)),
+        "E7": lambda: run_e7_thm47_tree_tsp(
+            depths=(3, 4, 5, 6, 7, 8, 9, 10), mary_depths=(2, 3, 4, 5)
+        ),
+        "E9": lambda: run_e9_thm45_hamilton(
+            complete_sizes=(8, 16, 32, 64, 128),
+            mesh_sides=(3, 4, 6, 8),
+            hypercube_dims=(3, 4, 5, 6, 7),
+        ),
+        "E10": lambda: run_e10_thm412_mary(
+            binary_sizes=(15, 31, 63, 127, 255), ternary_depths=(2, 3, 4)
+        ),
+        "E12": lambda: run_e12_star_counterexample(sizes=(8, 16, 32, 64, 128)),
+        "E16": lambda: run_e16_longlived(n=128, horizons=(1, 16, 64, 256, 1024)),
+        "E17": lambda: run_e17_async_robustness(sizes=(8, 16, 32, 64)),
+        "E18": lambda: run_e18_network_duel(sizes=(8, 16, 32, 64)),
+        "E19": lambda: run_e19_addition(sizes=(15, 31, 63, 127)),
+        "E20": lambda: run_e20_directory(sizes=(16, 32, 64, 128)),
+        "E21": lambda: run_e21_fault_tolerance(
+            sizes=(8, 16, 32, 64), drop_rates=(0.0, 0.05, 0.1, 0.2)
+        ),
+    }

@@ -1,0 +1,22 @@
+"""Engine performance baselines and regression gating.
+
+``repro bench`` times engine throughput (rounds/sec, messages/sec) on a
+fixed protocol x topology matrix (:data:`~repro.perf.bench.BENCH_CELLS`)
+and writes ``BENCH_engine.json`` — the repo's committed perf trajectory.
+:func:`~repro.perf.compare.compare_benchmarks` diffs two such documents
+with machine-speed normalisation so CI can fail on real engine
+regressions without flaking on hardware differences.  See
+``docs/PERFORMANCE.md``.
+"""
+
+from repro.perf.bench import BENCH_CELLS, BenchCell, calibrate, run_bench, render_bench
+from repro.perf.compare import compare_benchmarks
+
+__all__ = [
+    "BENCH_CELLS",
+    "BenchCell",
+    "calibrate",
+    "run_bench",
+    "render_bench",
+    "compare_benchmarks",
+]

@@ -1,0 +1,82 @@
+"""Benchmark regression gating with machine-speed normalisation.
+
+CI runs on whatever hardware the runner pool hands out, so absolute
+messages/sec are not comparable across runs.  Two normalisations make
+the committed baseline usable as a gate anyway:
+
+* **calibration** (preferred): every benchmark document carries
+  ``calibration_ops_per_sec``, a plain-Python arithmetic loop timed on
+  the same machine as the cells.  Dividing each cell's throughput ratio
+  by the calibration ratio cancels raw interpreter/CPU speed while
+  leaving engine-specific regressions visible.
+* **median** (fallback, when a document predates calibration): dividing
+  by the median cell ratio cancels any uniform machine factor; a
+  *single* cell regressing stands out against the others.  (A uniform
+  regression of every cell is invisible to this mode — which is why
+  calibration is preferred.)
+
+A cell fails when its normalised throughput ratio drops below
+``1 - threshold`` (default 0.25, i.e. >25% regression).
+"""
+
+from __future__ import annotations
+
+from statistics import median
+from typing import Any
+
+
+def compare_benchmarks(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    *,
+    threshold: float = 0.25,
+) -> list[str]:
+    """Compare two benchmark documents; return regression messages.
+
+    Args:
+        current: the freshly measured document (:func:`repro.perf.run_bench`).
+        baseline: the committed reference document.
+        threshold: allowed fractional drop in normalised throughput.
+
+    Returns:
+        One message per regressed cell (empty list = gate passes).  Cells
+        present in only one document are ignored; if *no* cell is
+        comparable, that is itself reported as a failure so a renamed
+        matrix cannot silently disable the gate.
+    """
+    base_cells = {c["name"]: c for c in baseline.get("cells", [])}
+    ratios: dict[str, float] = {}
+    for cell in current.get("cells", []):
+        ref = base_cells.get(cell["name"])
+        if not ref:
+            continue
+        base_mps = ref.get("messages_per_sec") or 0.0
+        cur_mps = cell.get("messages_per_sec") or 0.0
+        if base_mps > 0 and cur_mps > 0:
+            ratios[cell["name"]] = cur_mps / base_mps
+    if not ratios:
+        return [
+            "no comparable cells between current run and baseline — "
+            "regenerate the committed BENCH_engine.json"
+        ]
+
+    cur_cal = current.get("calibration_ops_per_sec") or 0.0
+    base_cal = baseline.get("calibration_ops_per_sec") or 0.0
+    if cur_cal > 0 and base_cal > 0:
+        machine = cur_cal / base_cal
+        mode = "calibration"
+    else:
+        machine = median(ratios.values())
+        mode = "median"
+
+    failures = []
+    floor = 1.0 - threshold
+    for name in sorted(ratios):
+        normalised = ratios[name] / machine if machine > 0 else ratios[name]
+        if normalised < floor:
+            failures.append(
+                f"{name}: throughput regressed to {normalised:.2f}x of baseline "
+                f"(raw ratio {ratios[name]:.2f}, {mode}-normalised, "
+                f"threshold {floor:.2f})"
+            )
+    return failures

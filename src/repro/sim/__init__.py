@@ -41,7 +41,12 @@ from repro.sim.errors import (
 )
 from repro.sim.message import Message
 from repro.sim.node import Node, NodeContext
-from repro.sim.network import SynchronousNetwork, RunStats, run_protocol
+from repro.sim.network import (
+    SynchronousNetwork,
+    RunStats,
+    engine_fast_path,
+    run_protocol,
+)
 from repro.sim.metrics import DelayRecorder, OperationRecord, summarize_delays
 from repro.sim.timeline import message_flow_summary, render_timeline
 from repro.sim.trace import EventTrace, TraceEvent
@@ -62,6 +67,7 @@ __all__ = [
     "NodeContext",
     "SynchronousNetwork",
     "RunStats",
+    "engine_fast_path",
     "run_protocol",
     "DelayRecorder",
     "OperationRecord",

@@ -19,14 +19,32 @@ touches nodes that have something to receive or send, so the total work is
 proportional to the total number of message-rounds, not ``rounds x n``.
 This matters because the paper's contention bounds make some protocols run
 for Theta(n^2) rounds.
+
+Two interchangeable executions of the same semantics exist (see
+``docs/PERFORMANCE.md``):
+
+* the **dense fast path** — used automatically when the vertex ids are
+  the contiguous range ``0..n-1`` (true for every ``repro.topology``
+  generator).  Link queues, outboxes, and ready heaps live in flat
+  list-indexed arrays, the per-round "who is active" snapshots are
+  maintained incrementally instead of re-derived with ``sorted()`` over
+  dicts, and idle-round detection uses a shared next-event heap;
+* the **generic fallback** — dict-keyed structures that accept arbitrary
+  hashable vertex ids.
+
+Both paths produce event-for-event identical executions: the same trace
+events in the same order, the same stats, the same delivery schedule.
+The golden-trace suite and ``tests/test_fast_path_equivalence.py`` pin
+this equivalence.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Mapping, Sequence
+from typing import Any, Iterator, Mapping, Sequence
 
 from repro.sim.delays import ConstantDelay, DelayModel
 from repro.sim.errors import (
@@ -39,6 +57,29 @@ from repro.sim.message import Message
 from repro.sim.metrics import DelayRecorder
 from repro.sim.node import Node, NodeContext
 from repro.sim.trace import EventTrace
+
+#: Process-wide default for the dense fast path.  The fast path is
+#: semantically identical to the generic one, so this stays True; tests
+#: and benchmarks flip it with :func:`engine_fast_path` to compare paths.
+_FAST_PATH_DEFAULT = True
+
+
+@contextmanager
+def engine_fast_path(enabled: bool) -> Iterator[None]:
+    """Temporarily force the engine's dense fast path on or off.
+
+    Networks constructed inside the ``with`` block (without an explicit
+    ``fast_path=`` argument) use ``enabled`` as their default.  Used by
+    the equivalence tests and ``repro bench`` to time the generic
+    fallback against the fast path on identical inputs.
+    """
+    global _FAST_PATH_DEFAULT
+    prev = _FAST_PATH_DEFAULT
+    _FAST_PATH_DEFAULT = bool(enabled)
+    try:
+        yield
+    finally:
+        _FAST_PATH_DEFAULT = prev
 
 
 @dataclass(slots=True)
@@ -100,7 +141,8 @@ class SynchronousNetwork:
         graph: the communication graph (see :func:`_as_adjacency` for the
             accepted forms).
         nodes: mapping from node id to the :class:`Node` protocol object
-            for that id; must cover every vertex of the graph.
+            for that id; must cover every vertex of the graph and contain
+            no entries for vertices outside it.
         send_capacity: messages a node may send per round (paper: 1).
         recv_capacity: messages a node may receive per round (paper: 1;
             the arrow protocol uses the spanning-tree degree, the paper's
@@ -133,6 +175,10 @@ class SynchronousNetwork:
             to inject (see :mod:`repro.faults`).  An empty plan (or
             ``None``) leaves every code path untouched, so the run is
             byte-for-byte identical to a fault-free one.
+        fast_path: force the dense fast path on/off; ``None`` (default)
+            auto-selects — dense when the vertex ids are exactly
+            ``0..n-1``, generic otherwise.  Both paths are execution-
+            equivalent; see ``docs/PERFORMANCE.md``.
 
     Typical use::
 
@@ -154,6 +200,7 @@ class SynchronousNetwork:
         profiler: Any | None = None,
         strict: bool = False,
         faults: Any | None = None,
+        fast_path: bool | None = None,
     ) -> None:
         if send_capacity < 1:
             raise CapacityError(f"send_capacity must be >= 1, got {send_capacity}")
@@ -163,6 +210,11 @@ class SynchronousNetwork:
         missing = set(self._adj) - set(nodes)
         if missing:
             raise ProtocolViolation(f"no Node object for vertices {sorted(missing)[:5]}...")
+        extra = set(nodes) - set(self._adj)
+        if extra:
+            raise ProtocolViolation(
+                f"Node objects for vertices not in the graph: {sorted(extra)[:5]}"
+            )
         self._nodes: dict[int, Node] = dict(nodes)
         self._nbr_sets = {v: frozenset(nbrs) for v, nbrs in self._adj.items()}
         self.send_capacity = send_capacity
@@ -184,26 +236,76 @@ class SynchronousNetwork:
         # Strict-mode send accounting: node -> (round, sends so far).
         self._send_budget: dict[int, tuple[int, int]] = {}
 
-        # Per directed link (u, v): FIFO queue of messages in transit or
-        # waiting to be received at v.
-        self._links: dict[tuple[int, int], deque[Message]] = {}
-        # Per node: FIFO outbox of messages not yet on a link.
-        self._outbox: dict[int, deque[Message]] = {}
-        # Per node: heap of (ready_at, seq, src) for head-of-line messages
-        # on its incoming links.  Only heads are in the heap so arbitration
-        # is O(log deg) per delivery even on the star's hub.  A promoted
-        # head is never receivable before the round after its predecessor
-        # (per-link throughput is one message per round).
-        self._ready: dict[int, list[tuple[int, int, int]]] = {}
+        n = len(self._adj)
+        if fast_path is None:
+            fast_path = _FAST_PATH_DEFAULT
+        # Dense ids 0..n-1 (keys are unique, so min/max pin the range).
+        self._dense = bool(fast_path) and n > 0 and (
+            min(self._adj) == 0 and max(self._adj) == n - 1
+        )
+        self._unit_delay = (
+            type(self.delay_model) is ConstantDelay and self.delay_model.delay == 1
+        )
+
+        if self._dense:
+            # Flat list-indexed engine state (the fast path).
+            self._outboxes: list[deque[Message]] = [deque() for _ in range(n)]
+            #: per destination: incoming-link FIFO queues keyed by source.
+            self._in_links: list[dict[int, deque[Message]]] = [{} for _ in range(n)]
+            #: per node: heap of (ready_at, seq, src) over link heads.
+            self._rheaps: list[list[tuple[int, int, int]]] = [[] for _ in range(n)]
+            # Maintained active sets: node is listed exactly once while its
+            # outbox / ready heap is non-empty (flag == membership).
+            self._send_active: list[int] = []
+            self._send_flag = bytearray(n)
+            self._recv_active: list[int] = []
+            self._recv_flag = bytearray(n)
+            #: messages sitting in outboxes (not yet on a link).
+            self._outbox_pending = 0
+            self._nodes_l: list[Node] = [self._nodes[v] for v in range(n)]
+            # Shadow the generic method so NodeContext.send hits the flat
+            # arrays without a per-call dense check.
+            self._enqueue_send = self._enqueue_send_dense  # type: ignore[method-assign]
+        else:
+            # Generic dict-keyed state: arbitrary hashable vertex ids.
+            # Per directed link (u, v): FIFO queue of messages in transit
+            # or waiting to be received at v.
+            self._links: dict[tuple[int, int], deque[Message]] = {}
+            # Per node: FIFO outbox of messages not yet on a link.
+            self._outbox: dict[int, deque[Message]] = {}
+            # Per node: heap of (ready_at, seq, src) for head-of-line
+            # messages on its incoming links.  Only heads are in the heap
+            # so arbitration is O(log deg) per delivery even on the star's
+            # hub.  A promoted head is never receivable before the round
+            # after its predecessor (per-link throughput is one message
+            # per round).
+            self._ready: dict[int, list[tuple[int, int, int]]] = {}
+
         self._ctx: dict[int, NodeContext] = {
             v: NodeContext(self, v) for v in self._adj
         }
+        if self._dense:
+            self._ctx_l: list[NodeContext] = [self._ctx[v] for v in range(n)]
         self._msg_seq = 0
         self._in_flight = 0
         self._started = False
         self._wakeups: dict[int, list[int]] = {}
+        #: Shared next-event heap over wakeup rounds.  Contains every
+        #: round that currently has (or once had) scheduled wakeups; rounds
+        #: no longer in ``_wakeups`` are discarded lazily on peek.  This
+        #: replaces the former ``min(self._wakeups)`` linear scans.
+        self._wake_heap: list[int] = []
+        #: Rounds the run loop actually iterated (idle stretches that the
+        #: clock jumped over are not counted).  ``stats.rounds`` stays the
+        #: model-level clock; this is the engine-level work measure.
+        self.rounds_executed = 0
 
     # ---------------------------------------------------------------- API
+
+    @property
+    def uses_fast_path(self) -> bool:
+        """Whether this network runs on the dense fast path."""
+        return self._dense
 
     def neighbors(self, v: int) -> tuple[int, ...]:
         """Sorted neighbors of ``v``."""
@@ -242,6 +344,20 @@ class SynchronousNetwork:
             raise ProtocolViolation("a SynchronousNetwork can only be run once")
         self._started = True
 
+        if self._dense:
+            receive_phase = self._receive_phase_dense
+            send_phase = self._send_phase_dense
+            # Under the paper's unit delay every link head is receivable
+            # by round now+1, so while messages are in flight the clock
+            # can never jump — skip the scan entirely.
+            maybe_jump = (
+                self._maybe_jump_dense if not self._unit_delay else None
+            )
+        else:
+            receive_phase = self._receive_phase
+            send_phase = self._send_phase
+            maybe_jump = self._maybe_jump
+
         self.now = 0
         inj = self._injector
         met = self.metrics
@@ -258,15 +374,18 @@ class SynchronousNetwork:
                 self._nodes[v].on_start(self._ctx[v])
             prof.add("node.on_start", prof.clock() - t0)
         if prof is None:
-            self._send_phase()
+            send_phase()
         else:
             t0 = prof.clock()
-            self._send_phase()
+            send_phase()
             prof.add("send", prof.clock() - t0)
 
+        executed = 0
         while self._in_flight > 0 or self._wakeups:
             self.now += 1
+            executed += 1
             if self.now > max_rounds:
+                self.rounds_executed = executed
                 raise RoundLimitExceeded(
                     max_rounds,
                     self._in_flight,
@@ -277,8 +396,8 @@ class SynchronousNetwork:
                 if inj is not None:
                     inj.tick(self.now, self.stats, self.trace, met)
                 self._wake_phase()
-                self._receive_phase()
-                self._send_phase()
+                receive_phase()
+                send_phase()
             else:
                 prof.tick_round()
                 t0 = prof.clock()
@@ -290,16 +409,18 @@ class SynchronousNetwork:
                 self._wake_phase()
                 t1 = prof.clock()
                 prof.add("wake", t1 - t0)
-                self._receive_phase()
+                receive_phase()
                 t0 = prof.clock()
                 prof.add("receive", t0 - t1)
-                self._send_phase()
+                send_phase()
                 prof.add("send", prof.clock() - t0)
             if met is not None:
                 met.set_gauge("engine.in_flight", self._in_flight)
                 met.sample("engine.in_flight", self.now, self._in_flight)
-            self._maybe_jump(max_rounds)
+            if maybe_jump is not None:
+                maybe_jump(max_rounds)
 
+        self.rounds_executed = executed
         self.stats.rounds = self.now
         if met is not None:
             met.set_gauge("engine.rounds", self.now)
@@ -309,21 +430,37 @@ class SynchronousNetwork:
 
     def _pending_nodes(self) -> tuple[int, ...]:
         """Nodes with unsent outbound or undelivered inbound messages."""
+        if self._dense:
+            pending = {u for u, box in enumerate(self._outboxes) if box}
+            for dst, links in enumerate(self._in_links):
+                if any(links.values()):
+                    pending.add(dst)
+            return tuple(sorted(pending))
         pending = {u for u, box in self._outbox.items() if box}
         for (_, dst), q in self._links.items():
             if q:
                 pending.add(dst)
         return tuple(sorted(pending))
 
+    def _queued_messages(self) -> tuple[Iterator[deque[Message]], Iterator[deque[Message]]]:
+        """(link queues, outboxes) iterators for diagnostics."""
+        if self._dense:
+            return (
+                (q for links in self._in_links for q in links.values()),
+                iter(self._outboxes),
+            )
+        return iter(self._links.values()), iter(self._outbox.values())
+
     def _oldest_undelivered(self) -> tuple[str, int, int, int] | None:
         """``(kind, src, dst, sent_at)`` of the oldest queued message."""
+        links, outboxes = self._queued_messages()
         oldest: Message | None = None
-        for q in self._links.values():
+        for q in links:
             for m in q:
                 if oldest is None or (m.sent_at, m.seq) < (oldest.sent_at, oldest.seq):
                     oldest = m
         if oldest is None:
-            for box in self._outbox.values():
+            for box in outboxes:
                 for m in box:
                     if oldest is None or m.seq < oldest.seq:
                         oldest = m
@@ -340,8 +477,9 @@ class SynchronousNetwork:
             self._send_budget[src] = (self.now, count)
             if count > self.send_capacity:
                 raise StrictModeViolation(src, self.now, "send", self.send_capacity)
-        msg = Message(src=src, dst=dst, kind=kind, payload=payload, seq=self._msg_seq)
-        self._msg_seq += 1
+        seq = self._msg_seq
+        self._msg_seq = seq + 1
+        msg = Message(src, dst, kind, payload, -1, -1, -1, seq)
         box = self._outbox.get(src)
         if box is None:
             box = self._outbox[src] = deque()
@@ -355,13 +493,61 @@ class SynchronousNetwork:
             self.trace.record("enqueue", self.now, src=src, dst=dst, kind=kind)
         return msg
 
+    def _enqueue_send_dense(self, src: int, dst: int, kind: str, payload: Any) -> Message:
+        if self.strict:
+            last_round, count = self._send_budget.get(src, (-1, 0))
+            count = count + 1 if last_round == self.now else 1
+            self._send_budget[src] = (self.now, count)
+            if count > self.send_capacity:
+                raise StrictModeViolation(src, self.now, "send", self.send_capacity)
+        seq = self._msg_seq
+        self._msg_seq = seq + 1
+        msg = Message(src, dst, kind, payload, -1, -1, -1, seq)
+        box = self._outboxes[src]
+        box.append(msg)
+        self._outbox_pending += 1
+        if not self._send_flag[src]:
+            self._send_flag[src] = 1
+            self._send_active.append(src)
+        self._in_flight += 1
+        stats = self.stats
+        backlog = len(box)
+        if backlog > stats.max_send_backlog:
+            stats.max_send_backlog = backlog
+        if self.metrics is not None:
+            self.metrics.set_gauge("engine.send_backlog", backlog)
+        if self.trace is not None:
+            self.trace.record("enqueue", self.now, src=src, dst=dst, kind=kind)
+        return msg
+
     def _schedule_wakeup(self, node_id: int, round_: int) -> None:
         if round_ <= self.now:
             raise ProtocolViolation(
                 f"wakeup for node {node_id} at round {round_} is not in the "
                 f"future (now={self.now})"
             )
-        self._wakeups.setdefault(round_, []).append(node_id)
+        due = self._wakeups.get(round_)
+        if due is None:
+            self._wakeups[round_] = [node_id]
+            heapq.heappush(self._wake_heap, round_)
+        else:
+            due.append(node_id)
+
+    def _next_wakeup(self) -> int | None:
+        """The earliest round with scheduled wakeups, via the event heap.
+
+        Lazily discards heap entries whose round has already fired (the
+        ``_wakeups`` key was popped).  O(log w) amortised, replacing the
+        O(w) ``min()`` scans over the wakeup dict.
+        """
+        heap = self._wake_heap
+        wakeups = self._wakeups
+        while heap:
+            r = heap[0]
+            if r in wakeups:
+                return r
+            heapq.heappop(heap)
+        return None
 
     def _wake_phase(self) -> None:
         due = self._wakeups.pop(self.now, None)
@@ -369,8 +555,8 @@ class SynchronousNetwork:
             # If nothing is in flight, jump the clock to the next wakeup so
             # idle stretches of a long-lived schedule cost no work.
             if self._in_flight == 0 and self._wakeups:
-                nxt = min(self._wakeups)
-                if nxt > self.now:
+                nxt = self._next_wakeup()
+                if nxt is not None and nxt > self.now:
                     self.now = nxt
                     due = self._wakeups.pop(nxt)
             if not due:
@@ -382,7 +568,12 @@ class SynchronousNetwork:
                 # (and are dropped for a permanent crash).
                 rec = inj.recovery_round(v, self.now)
                 if rec is not None:
-                    self._wakeups.setdefault(rec, []).append(v)
+                    deferred = self._wakeups.get(rec)
+                    if deferred is None:
+                        self._wakeups[rec] = [v]
+                        heapq.heappush(self._wake_heap, rec)
+                    else:
+                        deferred.append(v)
                 continue
             self._nodes[v].on_wake(self._ctx[v])
 
@@ -398,8 +589,31 @@ class SynchronousNetwork:
             if heap and (nxt is None or heap[0][0] < nxt):
                 nxt = heap[0][0]
         if self._wakeups:
-            w = min(self._wakeups)
-            nxt = w if nxt is None else min(nxt, w)
+            w = self._next_wakeup()
+            if w is not None:
+                nxt = w if nxt is None else min(nxt, w)
+        if nxt is not None and nxt > self.now + 1:
+            self.now = min(nxt - 1, max_rounds)
+
+    def _maybe_jump_dense(self, max_rounds: int) -> None:
+        """Dense-path idle-round jump (only reachable with non-unit delays).
+
+        The active receiver set holds exactly the nodes with a non-empty
+        ready heap, so the scan is O(active), not O(n)."""
+        if self._in_flight == 0:
+            return
+        if self._outbox_pending:
+            return  # something enters a link next round
+        nxt = None
+        rheaps = self._rheaps
+        for v in self._recv_active:
+            h = rheaps[v]
+            if h and (nxt is None or h[0][0] < nxt):
+                nxt = h[0][0]
+        if self._wakeups:
+            w = self._next_wakeup()
+            if w is not None:
+                nxt = w if nxt is None else min(nxt, w)
         if nxt is not None and nxt > self.now + 1:
             self.now = min(nxt - 1, max_rounds)
 
@@ -410,6 +624,8 @@ class SynchronousNetwork:
             self.metrics.observe("op.delay", self.now)
         if self.trace is not None:
             self.trace.record("complete", self.now, node=node_id, op=op_id)
+
+    # --------------------------------------------- generic (fallback) path
 
     def _receive_phase(self) -> None:
         t = self.now
@@ -518,6 +734,213 @@ class SynchronousNetwork:
             if heap is None:
                 heap = self._ready[msg.dst] = []
             heapq.heappush(heap, (msg.ready_at, msg.seq, u))
+        self.stats.messages_sent += 1
+        if self.metrics is not None:
+            self.metrics.inc("engine.messages_sent")
+            self.metrics.set_gauge("engine.recv_backlog", len(q))
+        if self.trace is not None:
+            self.trace.record("send", t, src=u, dst=msg.dst, kind=msg.kind)
+
+    # ------------------------------------------------------ dense fast path
+    #
+    # Mirror images of the generic phases over flat arrays.  Every
+    # externally visible effect (delivery order, stats totals, metrics
+    # calls, trace events) happens at the same point in the same order as
+    # the generic path — the equivalence suite diffs full event traces to
+    # keep it that way.
+
+    def _receive_phase_dense(self) -> None:
+        active = self._recv_active
+        if not active:
+            return
+        t = self.now
+        inj = self._injector
+        met = self.metrics
+        prof = self.profiler
+        trace = self.trace
+        strict = self.strict
+        cap = self.recv_capacity
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        nodes = self._nodes_l
+        ctxs = self._ctx_l
+        in_links = self._in_links
+        rheaps = self._rheaps
+        flags = self._recv_flag
+        order = sorted(active)
+        active.clear()
+        delivered = 0
+        wait_total = 0
+        for v in order:
+            flags[v] = 0
+            heap = rheaps[v]
+            if inj is not None and inj.crashed(v, t):
+                # Crashed receiver: messages wait on their links.
+                if heap:
+                    flags[v] = 1
+                    active.append(v)
+                continue
+            node = nodes[v]
+            ctx = ctxs[v]
+            links_v = in_links[v]
+            budget = cap
+            while budget and heap:
+                head = heap[0]
+                if head[0] > t:
+                    break  # still traversing its link
+                heappop(heap)
+                src = head[2]
+                q = links_v[src]
+                msg = q.popleft()
+                if q:
+                    nxt = q[0]
+                    ra = nxt.ready_at
+                    if ra <= t:
+                        ra = t + 1
+                    heappush(heap, (ra, nxt.seq, src))
+                msg.delivered_at = t
+                budget -= 1
+                delivered += 1
+                wait = t - msg.ready_at
+                wait_total += wait
+                if met is not None:
+                    met.inc("engine.messages_delivered")
+                    met.inc("engine.link_wait_total", wait)
+                    met.observe("msg.link_wait", wait)
+                if trace is not None:
+                    trace.record("deliver", t, src=src, dst=v, kind=msg.kind, wait=wait)
+                if prof is None:
+                    node.on_receive(msg, ctx)
+                else:
+                    t0 = prof.clock()
+                    node.on_receive(msg, ctx)
+                    prof.add("node.on_receive", prof.clock() - t0)
+            if heap:
+                if strict and heap[0][0] <= t:
+                    raise StrictModeViolation(v, t, "receive", cap)
+                flags[v] = 1
+                active.append(v)
+        self._in_flight -= delivered
+        self.stats.messages_delivered += delivered
+        self.stats.total_link_wait += wait_total
+
+    def _send_phase_dense(self) -> None:
+        active = self._send_active
+        if not active:
+            return
+        t = self.now
+        inj = self._injector
+        met = self.metrics
+        trace = self.trace
+        cap = self.send_capacity
+        unit = self._unit_delay
+        delay_model = self.delay_model
+        outboxes = self._outboxes
+        in_links = self._in_links
+        rheaps = self._rheaps
+        recv_active = self._recv_active
+        recv_flag = self._recv_flag
+        heappush = heapq.heappush
+        flags = self._send_flag
+        stats = self.stats
+        order = sorted(active)
+        active.clear()
+        sent = 0
+        moved = 0
+        max_backlog = stats.max_recv_backlog
+        for u in order:
+            flags[u] = 0
+            box = outboxes[u]
+            if inj is not None and inj.crashed(u, t):
+                # Crashed sender: outbox frozen until recovery.
+                flags[u] = 1
+                active.append(u)
+                continue
+            for _ in range(cap if cap < len(box) else len(box)):
+                msg = box.popleft()
+                moved += 1
+                msg.sent_at = t
+                if inj is not None:
+                    verdict = inj.on_link_entry(msg, t)
+                    if verdict in ("drop", "outage"):
+                        # Lost on the wire: the send slot is consumed but
+                        # the message never enters the link.
+                        self._in_flight -= 1
+                        stats.messages_dropped += 1
+                        if met is not None:
+                            met.inc("engine.messages_dropped")
+                        if trace is not None:
+                            trace.record(
+                                "drop", t, src=u, dst=msg.dst, kind=msg.kind,
+                                reason=verdict,
+                            )
+                        continue
+                else:
+                    verdict = None
+                # Inlined link entry (the hot path).
+                dst = msg.dst
+                msg.ready_at = t + 1 if unit else t + delay_model(msg)
+                links_d = in_links[dst]
+                q = links_d.get(u)
+                if q is None:
+                    q = links_d[u] = deque()
+                q.append(msg)
+                lq = len(q)
+                if lq > max_backlog:
+                    max_backlog = lq
+                if lq == 1:
+                    heappush(rheaps[dst], (msg.ready_at, msg.seq, u))
+                    if not recv_flag[dst]:
+                        recv_flag[dst] = 1
+                        recv_active.append(dst)
+                sent += 1
+                if met is not None:
+                    met.inc("engine.messages_sent")
+                    met.set_gauge("engine.recv_backlog", lq)
+                if trace is not None:
+                    trace.record("send", t, src=u, dst=dst, kind=msg.kind)
+                if verdict == "duplicate":
+                    clone = Message(
+                        src=msg.src, dst=dst, kind=msg.kind,
+                        payload=msg.payload, seq=self._msg_seq,
+                    )
+                    self._msg_seq += 1
+                    clone.sent_at = t
+                    self._in_flight += 1
+                    stats.messages_duplicated += 1
+                    if met is not None:
+                        met.inc("engine.messages_duplicated")
+                    # Duplicate copies take the non-inlined tail so the
+                    # stats/metrics ordering matches the generic path.
+                    stats.max_recv_backlog = max_backlog
+                    stats.messages_sent += sent
+                    sent = 0
+                    self._link_entry_dense(clone, u, t)
+                    max_backlog = stats.max_recv_backlog
+                    if trace is not None:
+                        trace.record("duplicate", t, src=u, dst=dst, kind=msg.kind)
+            if box:
+                flags[u] = 1
+                active.append(u)
+        stats.max_recv_backlog = max_backlog
+        stats.messages_sent += sent
+        self._outbox_pending -= moved
+
+    def _link_entry_dense(self, msg: Message, u: int, t: int) -> None:
+        """Dense-path link entry for the rare (fault duplicate) tail."""
+        msg.ready_at = t + self.delay_model(msg)
+        links_d = self._in_links[msg.dst]
+        q = links_d.get(u)
+        if q is None:
+            q = links_d[u] = deque()
+        q.append(msg)
+        if len(q) > self.stats.max_recv_backlog:
+            self.stats.max_recv_backlog = len(q)
+        if len(q) == 1:
+            heapq.heappush(self._rheaps[msg.dst], (msg.ready_at, msg.seq, u))
+            if not self._recv_flag[msg.dst]:
+                self._recv_flag[msg.dst] = 1
+                self._recv_active.append(msg.dst)
         self.stats.messages_sent += 1
         if self.metrics is not None:
             self.metrics.inc("engine.messages_sent")

@@ -21,12 +21,13 @@ class NodeContext:
     capacities, unit delay) enforceable in one place.
     """
 
-    __slots__ = ("_network", "_node_id", "_neighbors")
+    __slots__ = ("_network", "_node_id", "_neighbors", "_nbr_set")
 
     def __init__(self, network: "SynchronousNetwork", node_id: int) -> None:
         self._network = network
         self._node_id = node_id
         self._neighbors = network.neighbors(node_id)
+        self._nbr_set = network.neighbor_set(node_id)
 
     @property
     def node_id(self) -> int:
@@ -53,7 +54,7 @@ class NodeContext:
         Raises:
             ProtocolViolation: if ``dst`` is not a neighbor of this node.
         """
-        if dst not in self._network.neighbor_set(self._node_id):
+        if dst not in self._nbr_set:
             raise ProtocolViolation(
                 f"node {self._node_id} tried to send to non-neighbor {dst}"
             )

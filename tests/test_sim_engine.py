@@ -88,6 +88,12 @@ class TestBasics:
         with pytest.raises(ProtocolViolation):
             SynchronousNetwork(g, {0: Sender(0)})
 
+    def test_extra_node_rejected(self):
+        g = path_graph(3)
+        nodes = {v: Sender(v) for v in range(4)}  # vertex 3 is not in the graph
+        with pytest.raises(ProtocolViolation, match="not in the graph"):
+            SynchronousNetwork(g, nodes)
+
     def test_invalid_capacities_rejected(self):
         g, nodes = line(2)
         with pytest.raises(CapacityError):
@@ -252,6 +258,37 @@ class TestWakeups:
         nodes = {v: WakerNode(v, at=[2]) for v in range(3)}
         SynchronousNetwork(g, nodes).run()
         assert all(nodes[v].woke == [2] for v in range(3))
+
+    @pytest.mark.parametrize("fast_path", [True, False])
+    def test_long_idle_schedule_executes_few_rounds(self, fast_path):
+        """A sparse wakeup schedule must cost work per *event*, not per round.
+
+        The engine's next-event heap jumps the clock over idle stretches:
+        wakeups at rounds 10^3, 10^6, 10^9 execute only a handful of
+        rounds.  Asserting ``rounds_executed`` (not just the results)
+        pins the jumping itself — a regression to linear scanning would
+        still produce the right wake rounds, just astronomically slower.
+        """
+        marks = [1_000, 1_000_000, 1_000_000_000]
+        g = path_graph(2)
+        nodes = {0: WakerNode(0, at=marks), 1: WakerNode(1)}
+        net = SynchronousNetwork(g, nodes, fast_path=fast_path)
+        stats = net.run(max_rounds=2_000_000_000)
+        assert nodes[0].woke == marks
+        assert stats.rounds == marks[-1]
+        # One executed round per wakeup event (the engine enters the loop
+        # once per jump target), not one per clock tick.
+        assert net.rounds_executed <= len(marks) + 1
+
+    @pytest.mark.parametrize("fast_path", [True, False])
+    def test_rounds_executed_counts_busy_rounds(self, fast_path):
+        n = 6
+        g = path_graph(n)
+        nodes = {v: RelayNode(v, nxt=v + 1 if v + 1 < n else None) for v in range(n)}
+        net = SynchronousNetwork(g, nodes, fast_path=fast_path)
+        stats = net.run()
+        # A relay chain is busy every round: no jumps, executed == clock.
+        assert net.rounds_executed == stats.rounds == n - 1
 
 
 class CompletingNode(Node):
