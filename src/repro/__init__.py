@@ -27,6 +27,9 @@ This library implements the whole stack from scratch:
   expression in the paper;
 * :mod:`repro.multicast`, :mod:`repro.mutex` — the motivating
   applications (totally ordered multicast, token-based mutual exclusion);
+* :mod:`repro.resilience` — runtime invariant monitors, a liveness
+  watchdog, checkpoint/restore with deterministic replay, and a
+  chaos-search harness over seeded fault plans;
 * :mod:`repro.experiments` — one runnable experiment per theorem, with
   pass criteria.
 
@@ -76,6 +79,17 @@ from repro.faults import (
 )
 from repro.multicast import run_counting_multicast, run_queuing_multicast
 from repro.mutex import run_token_mutex
+from repro.resilience import (
+    ArrowInvariant,
+    ChaosCell,
+    Checkpoint,
+    CountingInvariant,
+    MonitorSet,
+    PeriodicCheckpointer,
+    TokenInvariant,
+    Watchdog,
+    chaos_search,
+)
 from repro.sim import ConstantDelay, SynchronousNetwork, TargetedDelay, UniformDelay
 from repro.topology import (
     Graph,
@@ -128,6 +142,16 @@ __all__ = [
     "run_arrow_ft",
     "run_central_counting_ft",
     "run_flood_counting_ft",
+    # resilience
+    "MonitorSet",
+    "CountingInvariant",
+    "ArrowInvariant",
+    "TokenInvariant",
+    "Watchdog",
+    "Checkpoint",
+    "PeriodicCheckpointer",
+    "ChaosCell",
+    "chaos_search",
     # applications
     "run_object_directory",
     "run_counting_multicast",

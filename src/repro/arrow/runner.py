@@ -87,6 +87,7 @@ def run_arrow(
     strict: bool = False,
     node_wrapper: Callable[[Node], Node] | None = None,
     faults: "FaultPlan | None" = None,
+    monitors: Any | None = None,
 ) -> ArrowResult:
     """Run the one-shot concurrent arrow protocol.
 
@@ -115,6 +116,8 @@ def run_arrow(
             per-operation results are still read off the inner nodes.
         faults: optional :class:`repro.faults.FaultPlan` injected into
             the engine.
+        monitors: optional :class:`repro.resilience.MonitorSet` running
+            end-of-round invariant checks against the live network.
 
     Returns:
         An :class:`ArrowResult` with per-operation delays and the induced
@@ -161,6 +164,7 @@ def run_arrow(
         profiler=profiler,
         strict=strict,
         faults=faults,
+        monitors=monitors,
     )
     stats = net.run(max_rounds=max_rounds)
 

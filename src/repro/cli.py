@@ -39,6 +39,14 @@ fault plan with the reliable-delivery wrapper (see ``docs/FAULTS.md``):
 ``--faults`` takes ``drop=0.1,dup=0.05,seed=7,runs=3``; ``--crash``
 takes ``node@start:end`` (empty end = permanent) and ``--outage`` takes
 ``u-v@start:end``, both repeatable.
+
+Resilience (see ``docs/RESILIENCE.md``): ``chaos`` sweeps seeded fault
+plans across protocol x topology cells with invariant monitors and the
+watchdog attached, shrinks every failing plan to a minimal reproducer,
+and (with ``--out``) saves replayable JSON artifacts; ``chaos --replay
+artifact.json`` re-runs one and verifies the identical failure; ``chaos
+--ci`` exits nonzero on any finding (sweep plans are eventually
+delivering, so a failure is a bug, not weather).
 """
 
 from __future__ import annotations
@@ -453,6 +461,72 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.resilience.chaos import (
+        ChaosCell,
+        chaos_search,
+        load_artifact,
+        replay_artifact,
+        save_artifact,
+    )
+
+    if args.replay:
+        try:
+            cell, plan, failure = load_artifact(args.replay)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise SystemExit(f"chaos: cannot load artifact {args.replay!r}: {exc}")
+        print(f"replaying {cell.key()} ({plan.describe()})")
+        print(f"  recorded: {failure.get('kind')} at round {failure.get('round')}")
+        reproduced, observed = replay_artifact(
+            cell, plan, failure, max_rounds=args.max_rounds
+        )
+        if observed["status"] == "ok":
+            print("  observed: run completed cleanly")
+        else:
+            print(
+                f"  observed: {observed['kind']} at round {observed['round']}"
+            )
+        print("REPRODUCED" if reproduced else "NOT REPRODUCED")
+        return 0 if reproduced else 1
+
+    specs = args.cells or ["flood_ft:ring:8", "central_ft:star:8", "arrow_ft:path:8"]
+    try:
+        cells = [ChaosCell.parse(s) for s in specs]
+    except ValueError as exc:
+        raise SystemExit(f"chaos: {exc}")
+    report = chaos_search(
+        cells,
+        range(args.seeds),
+        allow_permanent=args.allow_permanent,
+        shrink=not args.no_shrink,
+        max_rounds=args.max_rounds,
+        progress=print,
+    )
+    print(
+        f"\n{report.runs} runs over {len(cells)} cells x {args.seeds} seeds: "
+        f"{len(report.findings)} failing plan(s)"
+    )
+    if args.out and report.findings:
+        os.makedirs(args.out, exist_ok=True)
+    for i, f in enumerate(report.findings):
+        print(
+            f"  [{i}] {f.cell.key()}: {f.final_failure.get('kind')} at round "
+            f"{f.final_failure.get('round')} ({f.final_plan.describe()})"
+        )
+        if args.out:
+            path = os.path.join(
+                args.out, f"chaos-{f.cell.key().replace(':', '-')}-{i}.json"
+            )
+            save_artifact(path, f.cell, f.final_plan, f.final_failure)
+            print(f"      wrote {path}")
+    if args.ci:
+        # CI sweeps eventually-delivering plans only: any failure is a bug.
+        return 1 if report.findings else 0
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -590,6 +664,35 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--threshold", type=float, default=0.25, metavar="FRAC",
                        help="allowed fractional regression (default: 0.25)")
     bench.set_defaults(func=cmd_bench)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep seeded fault plans over protocol cells; shrink and "
+             "save failing reproducers",
+    )
+    chaos.add_argument(
+        "--cells", action="append", default=[], metavar="PROTO:TOPO:N",
+        help="cell spec, e.g. flood_ft:ring:8 (repeatable; default: a "
+             "small fixed matrix)",
+    )
+    chaos.add_argument("--seeds", type=int, default=10, metavar="K",
+                       help="plans per cell, seeds 0..K-1 (default: 10)")
+    chaos.add_argument("--allow-permanent", action="store_true",
+                       help="let plans include permanent crashes (failures "
+                            "are then expected, useful for demos)")
+    chaos.add_argument("--no-shrink", action="store_true",
+                       help="skip delta-debug shrinking of failing plans")
+    chaos.add_argument("--max-rounds", type=int, default=20_000,
+                       metavar="R", help="per-run round budget (default: 20000)")
+    chaos.add_argument("--out", default="", metavar="DIR",
+                       help="write replayable reproducer JSON artifacts here")
+    chaos.add_argument("--ci", action="store_true",
+                       help="exit 1 if any plan fails (plans are eventually "
+                            "delivering, so failures are engine/protocol bugs)")
+    chaos.add_argument("--replay", default="", metavar="ARTIFACT",
+                       help="re-run one saved reproducer and verify the same "
+                            "failure at the same round; exit 1 otherwise")
+    chaos.set_defaults(func=cmd_chaos)
     return parser
 
 

@@ -151,6 +151,7 @@ def _run_central(
     strict: bool = False,
     node_wrapper: Callable[[Node], Node] | None = None,
     faults: "FaultPlan | None" = None,
+    monitors: Any | None = None,
 ) -> tuple[dict[int, Hashable], dict[int, int], SynchronousNetwork]:
     req = sorted(set(requests))
     next_hop, down_paths = _routing(graph, root)
@@ -180,6 +181,7 @@ def _run_central(
         profiler=profiler,
         strict=strict,
         faults=faults,
+        monitors=monitors,
     )
     net.run(max_rounds=max_rounds)
     return net.delays.result_by_op(), net.delays.delay_by_op(), net
@@ -198,6 +200,7 @@ def run_central_counting(
     strict: bool = False,
     node_wrapper: Callable[[Node], Node] | None = None,
     faults: "FaultPlan | None" = None,
+    monitors: Any | None = None,
 ) -> CountingResult:
     """Run central-counter counting; output verified before returning.
 
@@ -217,11 +220,13 @@ def run_central_counting(
             (e.g. :func:`repro.faults.wrap_reliable`).
         faults: optional :class:`repro.faults.FaultPlan` injected into
             the engine.
+        monitors: optional :class:`repro.resilience.MonitorSet` running
+            end-of-round invariant checks against the live network.
     """
     req = tuple(sorted(set(requests)))
     results, delays, net = _run_central(
         graph, req, root, "count", max_rounds, delay_model, trace, metrics,
-        profiler, strict, node_wrapper, faults,
+        profiler, strict, node_wrapper, faults, monitors,
     )
     counts = {v: int(c) for v, c in results.items()}
     verify_counting(req, counts)
@@ -245,6 +250,7 @@ def run_central_queuing(
     metrics: Any | None = None,
     profiler: Any | None = None,
     strict: bool = False,
+    monitors: Any | None = None,
 ) -> QueuingResult:
     """Run central-server queuing (root returns each request's predecessor).
 
@@ -255,7 +261,7 @@ def run_central_queuing(
     req = tuple(sorted(set(requests)))
     results, raw_delays, net = _run_central(
         graph, req, root, "queue", max_rounds, delay_model, trace, metrics,
-        profiler, strict,
+        profiler, strict, monitors=monitors,
     )
     predecessors = {("op", v): pred for v, pred in results.items()}
     # Delays keyed by op id to match QueuingResult's convention.

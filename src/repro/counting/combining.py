@@ -116,6 +116,7 @@ def run_combining_counting(
     metrics: Any | None = None,
     profiler: Any | None = None,
     strict: bool = False,
+    monitors: Any | None = None,
 ) -> CountingResult:
     """Run combining-tree counting on a spanning tree; output verified.
 
@@ -149,6 +150,7 @@ def run_combining_counting(
         metrics=metrics,
         profiler=profiler,
         strict=strict,
+        monitors=monitors,
     )
     net.run(max_rounds=max_rounds)
     counts = {v: int(c) for v, c in net.delays.result_by_op().items()}

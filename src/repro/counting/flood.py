@@ -168,6 +168,7 @@ def run_flood_counting(
     strict: bool = False,
     node_wrapper: Callable[[Node], Node] | None = None,
     faults: "FaultPlan | None" = None,
+    monitors: Any | None = None,
 ) -> CountingResult:
     """Run flood-and-rank counting on any connected graph; output verified."""
     req = tuple(sorted(set(requests)))
@@ -187,6 +188,7 @@ def run_flood_counting(
         profiler=profiler,
         strict=strict,
         faults=faults,
+        monitors=monitors,
     )
     net.run(max_rounds=max_rounds)
     counts = {v: int(c) for v, c in net.delays.result_by_op().items()}

@@ -10,7 +10,7 @@ graphs the handoff is much cheaper than a tree walk.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable
+from typing import Any, Hashable, Iterable
 
 from repro.arrow.protocol import init_op, op_of
 from repro.sim import Message, Node, NodeContext, SynchronousNetwork
@@ -193,6 +193,8 @@ def run_object_directory(
     capacity: int | None = None,
     delay_model=None,
     max_rounds: int = 50_000_000,
+    trace: Any | None = None,
+    monitors: Any | None = None,
 ) -> DirectoryOutcome:
     """Run the arrow directory: find on the tree, move on the graph.
 
@@ -254,6 +256,8 @@ def run_object_directory(
         send_capacity=capacity,
         recv_capacity=capacity,
         delay_model=delay_model,
+        trace=trace,
+        monitors=monitors,
     )
     net.run(max_rounds=max_rounds)
 

@@ -180,6 +180,73 @@ class FaultPlan:
 
         return FaultInjector(self)
 
+    def blocked_until(self, src: int, dst: int, round_: int) -> int | None:
+        """First round >= ``round_`` at which ``src -> dst`` is unblocked.
+
+        A directed hop is *blocked* while its edge is in an outage window
+        or its destination is crashed — a message entering the link then
+        is lost (outage) or frozen until recovery (crash).  Returns
+        ``round_`` itself when the hop is already clear, the first clear
+        round otherwise, or ``None`` when ``dst`` never recovers from a
+        permanent crash.  This is what lets a retry policy pause its
+        budget across *scheduled* unavailability instead of burning
+        retransmits into a window it knows about.
+        """
+        edge = (min(src, dst), max(src, dst))
+        r = round_
+        # Each window is a single interval, so once r clears a window's
+        # end that window never blocks again: the fixpoint arrives within
+        # one pass per window.
+        for _ in range(len(self.outages) + len(self.crashes) + 1):
+            moved = False
+            for c in self.crashes:
+                if c.node == dst and c.down(r):
+                    if c.end is None:
+                        return None
+                    r = c.end
+                    moved = True
+            for o in self.outages:
+                if o.edge == edge and o.down(r):
+                    r = o.end
+                    moved = True
+            if not moved:
+                break
+        return r
+
+    # ------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """A JSON-safe dict round-tripping through :meth:`from_dict`.
+
+        Chaos reproducer artifacts embed plans in this form.
+        """
+        return {
+            "seed": self.seed,
+            "drop_rate": self.drop_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "max_consecutive_drops": self.max_consecutive_drops,
+            "outages": [
+                {"u": o.u, "v": o.v, "start": o.start, "end": o.end}
+                for o in self.outages
+            ],
+            "crashes": [
+                {"node": c.node, "start": c.start, "end": c.end}
+                for c in self.crashes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        return cls(
+            seed=data["seed"],
+            drop_rate=data["drop_rate"],
+            duplicate_rate=data["duplicate_rate"],
+            max_consecutive_drops=data["max_consecutive_drops"],
+            outages=tuple(LinkOutage(**o) for o in data["outages"]),
+            crashes=tuple(NodeCrash(**c) for c in data["crashes"]),
+        )
+
     # ------------------------------------------------------------- parsing
 
     @classmethod

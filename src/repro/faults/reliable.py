@@ -41,14 +41,23 @@ from repro.sim.node import Node, NodeContext
 class RetryBudgetExceeded(SimulationError):
     """A reliable sender gave up on a message after ``max_retries`` resends."""
 
-    def __init__(self, node_id: int, dst: int, kind: str, attempts: int) -> None:
+    def __init__(
+        self,
+        node_id: int,
+        dst: int,
+        kind: str,
+        attempts: int,
+        round_: int | None = None,
+    ) -> None:
         self.node_id = node_id
         self.dst = dst
         self.kind = kind
         self.attempts = attempts
+        self.round = round_
+        at = "" if round_ is None else f" (round {round_})"
         super().__init__(
             f"node {node_id} gave up sending {kind!r} to {dst} after "
-            f"{attempts} attempts — the fault plan starved the link"
+            f"{attempts} attempts{at} — the fault plan starved the link"
         )
 
 
@@ -184,8 +193,8 @@ class ReliableNode(Node):
     """
 
     __slots__ = (
-        "inner", "policy", "metrics", "next_seq", "pending", "seen", "armed",
-        "inner_wakes", "_rctx",
+        "inner", "policy", "metrics", "plan", "next_seq", "pending", "seen",
+        "armed", "inner_wakes", "_rctx",
     )
 
     def __init__(
@@ -193,11 +202,16 @@ class ReliableNode(Node):
         inner: Node,
         policy: RetryPolicy | None = None,
         metrics: Any | None = None,
+        plan: Any | None = None,
     ) -> None:
         super().__init__(inner.node_id)
         self.inner = inner
         self.policy = policy if policy is not None else RetryPolicy()
         self.metrics = metrics
+        #: the run's FaultPlan, when known: scheduled outage/crash windows
+        #: pause the retry budget instead of burning it (crash-aware
+        #: retries — see docs/FAULTS.md).
+        self.plan = plan
         self.next_seq = 0
         #: seq -> unacked envelope.
         self.pending: dict[int, _Pending] = {}
@@ -257,15 +271,36 @@ class ReliableNode(Node):
     def on_wake(self, ctx: NodeContext) -> None:
         t = ctx.now
         self.armed.discard(t)
-        if t in self.inner_wakes:
-            self.inner_wakes.discard(t)
+        # Fire every inner wakeup due at or *before* t: when this node
+        # crashes over its scheduled round, the engine defers the wakeup
+        # to the recovery round, so an exact-round match would silently
+        # swallow the wrapped node's timer and stall its protocol (the
+        # old flood_ft-under-crash-windows failure).  Deferred wakeups
+        # are coalesced into one late on_wake, matching the "wake at or
+        # after r" semantics a crash-deferred timer can honestly offer.
+        due_inner = [r for r in sorted(self.inner_wakes) if r <= t]
+        if due_inner:
+            self.inner_wakes.difference_update(due_inner)
             self.inner.on_wake(self._proxy(ctx))
         for seq in sorted(self.pending):
             p = self.pending.get(seq)
             if p is None or p.due > t:
                 continue
+            if self.plan is not None:
+                clear = self.plan.blocked_until(self.node_id, p.dst, t)
+                if clear is not None and clear > t:
+                    # Scheduled outage / crash window: retransmitting now
+                    # would feed the message into a link that is known to
+                    # lose or freeze it.  Re-aim at the first clear round
+                    # without charging the retry budget.
+                    p.due = clear
+                    if self.metrics is not None:
+                        self.metrics.inc("reliable.budget_pauses")
+                    continue
             if p.attempts > self.policy.max_retries:
-                raise RetryBudgetExceeded(self.node_id, p.dst, p.kind, p.attempts)
+                raise RetryBudgetExceeded(
+                    self.node_id, p.dst, p.kind, p.attempts, round_=t
+                )
             p.attempts += 1
             p.interval = self.policy.next_interval(p.interval)
             p.due = t + p.interval
@@ -275,17 +310,23 @@ class ReliableNode(Node):
         self._arm_timer(ctx)
 
 
-def wrap_reliable(policy: RetryPolicy | None = None, metrics: Any | None = None):
+def wrap_reliable(
+    policy: RetryPolicy | None = None,
+    metrics: Any | None = None,
+    plan: Any | None = None,
+):
     """A node-wrapper callable for runners' ``node_wrapper`` hooks.
 
     ``run_arrow(..., node_wrapper=wrap_reliable())`` wraps every protocol
     node in a :class:`ReliableNode` sharing one :class:`RetryPolicy` (and
-    optionally one metrics registry).
+    optionally one metrics registry).  Passing the run's ``plan`` makes
+    retries crash-aware: the budget pauses across scheduled outage and
+    crash windows instead of exhausting into them.
     """
     policy = policy if policy is not None else RetryPolicy()
 
     def _wrap(node: Node) -> ReliableNode:
-        return ReliableNode(node, policy, metrics=metrics)
+        return ReliableNode(node, policy, metrics=metrics, plan=plan)
 
     return _wrap
 

@@ -42,6 +42,7 @@ def run_arrow_ft(
     metrics: Any | None = None,
     profiler: Any | None = None,
     policy: RetryPolicy | None = None,
+    monitors: Any | None = None,
 ) -> ArrowResult:
     """Arrow queuing under ``plan`` with reliable delivery.
 
@@ -60,8 +61,9 @@ def run_arrow_ft(
         trace=trace,
         metrics=metrics,
         profiler=profiler,
-        node_wrapper=wrap_reliable(policy, metrics=metrics),
+        node_wrapper=wrap_reliable(policy, metrics=metrics, plan=plan),
         faults=plan,
+        monitors=monitors,
     )
 
 
@@ -77,6 +79,7 @@ def run_central_counting_ft(
     metrics: Any | None = None,
     profiler: Any | None = None,
     policy: RetryPolicy | None = None,
+    monitors: Any | None = None,
 ) -> CountingResult:
     """Central-counter counting under ``plan`` with reliable delivery."""
     return run_central_counting(
@@ -88,8 +91,9 @@ def run_central_counting_ft(
         trace=trace,
         metrics=metrics,
         profiler=profiler,
-        node_wrapper=wrap_reliable(policy, metrics=metrics),
+        node_wrapper=wrap_reliable(policy, metrics=metrics, plan=plan),
         faults=plan,
+        monitors=monitors,
     )
 
 
@@ -104,6 +108,7 @@ def run_flood_counting_ft(
     metrics: Any | None = None,
     profiler: Any | None = None,
     policy: RetryPolicy | None = None,
+    monitors: Any | None = None,
 ) -> CountingResult:
     """Flood-and-rank counting under ``plan`` with reliable delivery."""
     return run_flood_counting(
@@ -114,8 +119,9 @@ def run_flood_counting_ft(
         trace=trace,
         metrics=metrics,
         profiler=profiler,
-        node_wrapper=wrap_reliable(policy, metrics=metrics),
+        node_wrapper=wrap_reliable(policy, metrics=metrics, plan=plan),
         faults=plan,
+        monitors=monitors,
     )
 
 

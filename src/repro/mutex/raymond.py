@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable
+from typing import Any, Hashable, Iterable
 
 from repro.arrow.protocol import init_op, op_of
 from repro.sim import Message, Node, NodeContext, SynchronousNetwork
@@ -171,6 +171,8 @@ def run_token_mutex(
     tail: int | None = None,
     capacity: int | None = None,
     max_rounds: int = 50_000_000,
+    trace: Any | None = None,
+    monitors: Any | None = None,
 ) -> MutexOutcome:
     """Run one-shot token-based mutual exclusion over the arrow queue.
 
@@ -183,6 +185,11 @@ def run_token_mutex(
         tail: initial token holder (default: tree root).
         capacity: per-round message budget (default: tree max degree).
         max_rounds: engine safety limit.
+        trace: optional :class:`~repro.sim.EventTrace` recording engine
+            events.
+        monitors: optional :class:`repro.resilience.MonitorSet` — pair
+            with :class:`repro.resilience.TokenInvariant` to assert token
+            uniqueness at the end of every round.
 
     Raises:
         AssertionError: if the mutual-exclusion property is violated
@@ -217,7 +224,12 @@ def run_token_mutex(
         for v in range(tree.n)
     }
     net = SynchronousNetwork(
-        spanning.as_graph(), nodes, send_capacity=capacity, recv_capacity=capacity
+        spanning.as_graph(),
+        nodes,
+        send_capacity=capacity,
+        recv_capacity=capacity,
+        trace=trace,
+        monitors=monitors,
     )
     net.run(max_rounds=max_rounds)
 

@@ -172,6 +172,18 @@ def chrome_trace(trace: "EventTrace", *, label: str = "repro") -> dict[str, Any]
             events.append(
                 _instant(e.kind, e.round * ROUND_US, d["node"], {"node": d["node"]})
             )
+        elif e.kind == "violation":
+            # Resilience-monitor verdicts have no single owning node; they
+            # render on track 0 so the red marker is hard to miss.
+            events.append(
+                _instant(
+                    f"violation {d.get('invariant', '?')}",
+                    e.round * ROUND_US,
+                    0,
+                    {"invariant": d.get("invariant", "?"),
+                     "detail": d.get("detail", "")},
+                )
+            )
 
     # Messages never delivered (truncated run): flag them rather than
     # silently dropping the sends.

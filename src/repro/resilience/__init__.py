@@ -1,0 +1,71 @@
+"""Runtime resilience: invariant monitors, watchdog, checkpoints, chaos.
+
+The paper's guarantees are exact safety properties — counting must issue
+the ranks ``{1..|R|}`` exactly once each, queuing must weave one total
+order through predecessor links, a mutex token must exist exactly once —
+yet post-hoc verification only reports *that* a run went wrong, not
+*when* or *where*.  This package makes fault runs provably safe while
+they execute and reproducible when they fail:
+
+* :mod:`repro.resilience.invariants` — round-granular safety monitors
+  plugged into the engine's ``monitors=`` hook (the same
+  zero-cost-when-disabled pattern as :mod:`repro.obs`), raising a
+  structured :class:`~repro.sim.errors.InvariantViolation` at the end of
+  the offending round;
+* :mod:`repro.resilience.watchdog` — liveness diagnosis: deadlock,
+  livelock, and stalled-progress detection with the evidence attached
+  (:class:`~repro.sim.errors.StallDetected`);
+* :mod:`repro.resilience.checkpoint` — full engine+node+fault-RNG
+  snapshots at round boundaries; a restored network resumes
+  byte-identically, enabling deterministic replay from the last
+  checkpoint before a violation;
+* :mod:`repro.resilience.chaos` — a seeded chaos-search harness
+  (``repro chaos``) sweeping fault plans over protocol x topology cells,
+  shrinking failures to minimal reproducers, and emitting replayable
+  JSON artifacts.
+
+See ``docs/RESILIENCE.md`` for the workflow.
+"""
+
+from repro.resilience.chaos import (
+    ChaosCell,
+    ChaosFinding,
+    ChaosReport,
+    chaos_search,
+    load_artifact,
+    random_plan,
+    replay_artifact,
+    run_cell,
+    save_artifact,
+    shrink_plan,
+)
+from repro.resilience.checkpoint import Checkpoint, PeriodicCheckpointer
+from repro.resilience.invariants import (
+    ArrowInvariant,
+    CountingInvariant,
+    InvariantMonitor,
+    MonitorSet,
+    TokenInvariant,
+)
+from repro.resilience.watchdog import Watchdog
+
+__all__ = [
+    "ArrowInvariant",
+    "ChaosCell",
+    "ChaosFinding",
+    "ChaosReport",
+    "Checkpoint",
+    "CountingInvariant",
+    "InvariantMonitor",
+    "MonitorSet",
+    "PeriodicCheckpointer",
+    "TokenInvariant",
+    "Watchdog",
+    "chaos_search",
+    "load_artifact",
+    "random_plan",
+    "replay_artifact",
+    "run_cell",
+    "save_artifact",
+    "shrink_plan",
+]

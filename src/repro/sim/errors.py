@@ -56,6 +56,117 @@ class RoundLimitExceeded(SimulationError):
         )
 
 
+class InvariantViolation(SimulationError):
+    """A resilience monitor caught a safety-invariant breach mid-run.
+
+    Raised at the end of the round in which the breach became visible,
+    while the whole network state is still live — unlike post-hoc
+    verification, the offending round, nodes, and surrounding trace
+    window are all known exactly.
+
+    Attributes:
+        invariant: the monitor's invariant name, e.g.
+            ``"counting.rank-uniqueness"``, ``"arrow.single-sink"``,
+            or ``"mutex.token-uniqueness"``.
+        round: the round whose end-of-round check failed.
+        nodes: sorted ids of the offending nodes.
+        detail: human-readable description of the breach.
+        trace_slice: an :class:`~repro.sim.trace.EventTrace` covering the
+            rounds around the breach, or ``None`` when the run was not
+            traced.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        round_: int,
+        nodes: tuple[int, ...] = (),
+        detail: str = "",
+        trace_slice=None,
+    ) -> None:
+        self.invariant = invariant
+        self.round = round_
+        self.nodes = tuple(sorted(nodes))
+        self.detail = detail
+        self.trace_slice = trace_slice
+        at = ", ".join(map(str, self.nodes[:8]))
+        more = "..." if len(self.nodes) > 8 else ""
+        where = f" at nodes [{at}{more}]" if self.nodes else ""
+        suffix = f": {detail}" if detail else ""
+        super().__init__(
+            f"invariant {invariant!r} violated in round {round_}{where}{suffix}"
+        )
+
+
+class StallDetected(SimulationError):
+    """The watchdog diagnosed a deadlock, livelock, or stalled window.
+
+    Replaces a bare :class:`RoundLimitExceeded` with the evidence a
+    debugger wants first: who is stuck, the oldest undelivered message,
+    and the state of every retry budget.
+
+    Attributes:
+        kind: ``"deadlock"`` (network quiesced with requesters
+            incomplete), ``"livelock"`` (messages keep flowing but no
+            completion or knowledge progress for a full window), or
+            ``"stall"`` (no deliveries at all for a full window).
+        round: the round in which the diagnosis fired.
+        window: the progress window (rounds) that elapsed without
+            progress; ``0`` for deadlocks, which are instant.
+        pending_nodes: sorted ids of nodes whose operations are still
+            incomplete.
+        oldest: ``(kind, src, dst, sent_at)`` of the oldest undelivered
+            message, or ``None`` when nothing is queued.
+        retry_state: per-node retry-budget summaries
+            ``{node: (pending_envelopes, max_attempts)}`` for nodes
+            wrapped in the reliable adapter; empty otherwise.
+        in_flight: messages still in flight or queued.
+        wakeups_pending: scheduled wakeups not yet fired.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        round_: int,
+        window: int,
+        pending_nodes: tuple[int, ...] = (),
+        oldest: tuple[str, int, int, int] | None = None,
+        retry_state: dict[int, tuple[int, int]] | None = None,
+        in_flight: int = 0,
+        wakeups_pending: int = 0,
+    ) -> None:
+        self.kind = kind
+        self.round = round_
+        self.window = window
+        self.pending_nodes = tuple(sorted(pending_nodes))
+        self.oldest = oldest
+        self.retry_state = dict(retry_state or {})
+        self.in_flight = in_flight
+        self.wakeups_pending = wakeups_pending
+        detail = ""
+        if self.pending_nodes:
+            shown = ", ".join(map(str, self.pending_nodes[:8]))
+            more = "..." if len(self.pending_nodes) > 8 else ""
+            detail += f"; stuck nodes: [{shown}{more}]"
+        if oldest is not None:
+            k, src, dst, sent_at = oldest
+            when = f"sent at round {sent_at}" if sent_at >= 0 else "never sent"
+            detail += f"; oldest undelivered: {k!r} {src}->{dst} ({when})"
+        if self.retry_state:
+            worst = max(self.retry_state.items(), key=lambda kv: kv[1][1])
+            detail += (
+                f"; worst retry budget: node {worst[0]} at "
+                f"{worst[1][1]} attempts ({worst[1][0]} pending)"
+            )
+        window_txt = (
+            "" if kind == "deadlock" else f" after {window} rounds without progress"
+        )
+        super().__init__(
+            f"watchdog: {kind} diagnosed in round {round_}{window_txt} "
+            f"({in_flight} in flight, {wakeups_pending} wakeups pending){detail}"
+        )
+
+
 class ProtocolViolation(SimulationError):
     """Raised when a protocol implementation breaks a model rule.
 

@@ -175,6 +175,15 @@ class SynchronousNetwork:
             to inject (see :mod:`repro.faults`).  An empty plan (or
             ``None``) leaves every code path untouched, so the run is
             byte-for-byte identical to a fault-free one.
+        monitors: optional :class:`repro.resilience.MonitorSet`
+            (duck-typed: ``on_round``/``on_complete``/``on_finish``).
+            Runs end-of-round invariant checks, watchdog progress
+            tracking, and periodic checkpoints against the live network.
+            Pure observation unless an invariant breaks (then a
+            structured :class:`~repro.sim.errors.InvariantViolation` or
+            :class:`~repro.sim.errors.StallDetected` is raised); when
+            ``None`` (the default) each hook site is one ``is not None``
+            check, and traces stay byte-identical.
         fast_path: force the dense fast path on/off; ``None`` (default)
             auto-selects — dense when the vertex ids are exactly
             ``0..n-1``, generic otherwise.  Both paths are execution-
@@ -200,6 +209,7 @@ class SynchronousNetwork:
         profiler: Any | None = None,
         strict: bool = False,
         faults: Any | None = None,
+        monitors: Any | None = None,
         fast_path: bool | None = None,
     ) -> None:
         if send_capacity < 1:
@@ -228,6 +238,9 @@ class SynchronousNetwork:
         # engine never imports the obs package; None disables publishing.
         self.metrics = metrics
         self.profiler = profiler
+        # Resilience hook (see repro.resilience).  Duck-typed like the
+        # obs hooks; None disables all end-of-round checking.
+        self.monitors = monitors
         self.strict = strict
         # Runtime fault state, or None for fault-free runs.  Duck-typed
         # (see repro.faults.injector.FaultInjector) so the engine never
@@ -344,24 +357,12 @@ class SynchronousNetwork:
             raise ProtocolViolation("a SynchronousNetwork can only be run once")
         self._started = True
 
-        if self._dense:
-            receive_phase = self._receive_phase_dense
-            send_phase = self._send_phase_dense
-            # Under the paper's unit delay every link head is receivable
-            # by round now+1, so while messages are in flight the clock
-            # can never jump — skip the scan entirely.
-            maybe_jump = (
-                self._maybe_jump_dense if not self._unit_delay else None
-            )
-        else:
-            receive_phase = self._receive_phase
-            send_phase = self._send_phase
-            maybe_jump = self._maybe_jump
-
+        _, send_phase, _ = self._select_phases()
         self.now = 0
         inj = self._injector
         met = self.metrics
         prof = self.profiler
+        mon = self.monitors
         t_run = prof.clock() if prof is not None else 0.0
         if inj is not None:
             inj.tick(0, self.stats, self.trace, met)
@@ -379,8 +380,59 @@ class SynchronousNetwork:
             t0 = prof.clock()
             send_phase()
             prof.add("send", prof.clock() - t0)
+        if mon is not None:
+            if prof is None:
+                mon.on_round(self)
+            else:
+                t0 = prof.clock()
+                mon.on_round(self)
+                prof.add("monitors", prof.clock() - t0)
 
-        executed = 0
+        return self._loop(max_rounds, t_run)
+
+    def resume(self, max_rounds: int = 1_000_000) -> RunStats:
+        """Continue a started network to quiescence.
+
+        The checkpoint/restore workflow: a network deepcopied mid-run by
+        :class:`repro.resilience.Checkpoint` re-enters the round loop
+        here and finishes byte-identically to the original — same trace
+        events, same stats, same completion order.  ``max_rounds`` is the
+        same *absolute* round budget :meth:`run` takes.
+
+        Raises:
+            ProtocolViolation: if the network was never started (call
+                :meth:`run` instead).
+        """
+        if not self._started:
+            raise ProtocolViolation(
+                "resume() on a network that was never run; call run() first"
+            )
+        prof = self.profiler
+        t_run = prof.clock() if prof is not None else 0.0
+        return self._loop(max_rounds, t_run)
+
+    def _select_phases(self):
+        """(receive, send, maybe_jump) phase callables for this path."""
+        if self._dense:
+            # Under the paper's unit delay every link head is receivable
+            # by round now+1, so while messages are in flight the clock
+            # can never jump — skip the scan entirely.
+            return (
+                self._receive_phase_dense,
+                self._send_phase_dense,
+                self._maybe_jump_dense if not self._unit_delay else None,
+            )
+        return self._receive_phase, self._send_phase, self._maybe_jump
+
+    def _loop(self, max_rounds: int, t_run: float = 0.0) -> RunStats:
+        """The round loop: rounds ``now+1 ...`` until quiescence."""
+        receive_phase, send_phase, maybe_jump = self._select_phases()
+        inj = self._injector
+        met = self.metrics
+        prof = self.profiler
+        mon = self.monitors
+
+        executed = self.rounds_executed
         while self._in_flight > 0 or self._wakeups:
             self.now += 1
             executed += 1
@@ -417,6 +469,16 @@ class SynchronousNetwork:
             if met is not None:
                 met.set_gauge("engine.in_flight", self._in_flight)
                 met.sample("engine.in_flight", self.now, self._in_flight)
+            if mon is not None:
+                # Sync the executed-round counter so monitors (and any
+                # checkpoint they capture) see a consistent engine.
+                self.rounds_executed = executed
+                if prof is None:
+                    mon.on_round(self)
+                else:
+                    t0 = prof.clock()
+                    mon.on_round(self)
+                    prof.add("monitors", prof.clock() - t0)
             if maybe_jump is not None:
                 maybe_jump(max_rounds)
 
@@ -424,6 +486,8 @@ class SynchronousNetwork:
         self.stats.rounds = self.now
         if met is not None:
             met.set_gauge("engine.rounds", self.now)
+        if mon is not None:
+            mon.on_finish(self)
         if prof is not None:
             prof.wall += prof.clock() - t_run
         return self.stats
@@ -624,6 +688,8 @@ class SynchronousNetwork:
             self.metrics.observe("op.delay", self.now)
         if self.trace is not None:
             self.trace.record("complete", self.now, node=node_id, op=op_id)
+        if self.monitors is not None:
+            self.monitors.on_complete(self, op_id, result, node_id)
 
     # --------------------------------------------- generic (fallback) path
 

@@ -56,6 +56,67 @@ class EventTrace:
         """All events of one kind, in order."""
         return [e for e in self.events if e.kind == kind]
 
+    def slice(self, start_round: int, end_round: int | None = None) -> "EventTrace":
+        """A new trace holding the events of rounds ``[start, end]``.
+
+        ``end_round=None`` means "through the last recorded round".
+        Event objects are shared (they are frozen), order is preserved.
+        Violation reports and chaos reproducers embed these windows.
+        """
+        out = EventTrace()
+        out.events = [
+            e
+            for e in self.events
+            if e.round >= start_round
+            and (end_round is None or e.round <= end_round)
+        ]
+        return out
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string round-tripping via :meth:`from_json`.
+
+        Tuples inside event data (e.g. arrow op ids like ``("op", 3)``)
+        are tagged as ``{"__tuple__": [...]}`` so the round trip restores
+        them as tuples, keeping replayed traces ``==``-comparable to live
+        ones.
+        """
+        import json
+
+        def enc(value: Any) -> Any:
+            if isinstance(value, tuple):
+                return {"__tuple__": [enc(v) for v in value]}
+            if isinstance(value, list):
+                return [enc(v) for v in value]
+            if isinstance(value, dict):
+                return {k: enc(v) for k, v in value.items()}
+            return value
+
+        return json.dumps(
+            [[e.kind, e.round, enc(e.data)] for e in self.events],
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "EventTrace":
+        """Rebuild a trace serialized by :meth:`to_json`."""
+        import json
+
+        def dec(value: Any) -> Any:
+            if isinstance(value, dict):
+                if set(value) == {"__tuple__"}:
+                    return tuple(dec(v) for v in value["__tuple__"])
+                return {k: dec(v) for k, v in value.items()}
+            if isinstance(value, list):
+                return [dec(v) for v in value]
+            return value
+
+        out = cls()
+        out.events = [
+            TraceEvent(kind, round_, dec(data))
+            for kind, round_, data in json.loads(text)
+        ]
+        return out
+
     def fault_events(self) -> list[TraceEvent]:
         """All injected-fault events (drop/duplicate/crash/recover), in order."""
         kinds = ("drop", "duplicate", "crash", "recover")

@@ -1,0 +1,236 @@
+"""The chaos-search harness: cells, sweeps, shrinking, replay artifacts.
+
+Determinism is the backbone of every assertion here: the same (cell,
+plan) must always fail the same way at the same round, because that is
+what makes a saved reproducer worth saving.  Permanent-crash plans give
+the harness a guaranteed deterministic failure to shrink and replay;
+eventually-delivering sweeps must come back clean (the CI contract).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.faults import FaultPlan, LinkOutage, NodeCrash
+from repro.resilience import (
+    ChaosCell,
+    chaos_search,
+    load_artifact,
+    replay_artifact,
+    run_cell,
+    save_artifact,
+    shrink_plan,
+)
+from repro.resilience.chaos import random_plan
+
+MAX_ROUNDS = 5_000
+
+#: A plan whose permanent crash deterministically kills the flood ring.
+KILLER = FaultPlan(seed=7, crashes=(NodeCrash(node=2, start=1, end=None),))
+KILLER_CELL = ChaosCell("flood_ft", "ring", 5)
+
+
+class TestChaosCell:
+    def test_parse_roundtrip(self):
+        cell = ChaosCell.parse("flood_ft:ring:8")
+        assert (cell.protocol, cell.topology, cell.n) == ("flood_ft", "ring", 8)
+        assert cell.key() == "flood_ft:ring:8"
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["nope:ring:8", "flood_ft:klein_bottle:8", "flood_ft:ring:1",
+         "flood_ft:ring", "flood_ft:ring:x"],
+    )
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            ChaosCell.parse(spec)
+
+    def test_graph_matches_n(self):
+        assert ChaosCell.parse("central_ft:star:9").graph().n == 9
+
+
+class TestRunCell:
+    def test_clean_plan_is_ok(self):
+        out = run_cell(
+            ChaosCell("central_ft", "star", 6),
+            FaultPlan(seed=1, drop_rate=0.1),
+            max_rounds=MAX_ROUNDS,
+        )
+        assert out == {"status": "ok"}
+
+    def test_permanent_crash_fails_deterministically(self):
+        a = run_cell(KILLER_CELL, KILLER, max_rounds=MAX_ROUNDS)
+        b = run_cell(KILLER_CELL, KILLER, max_rounds=MAX_ROUNDS)
+        assert a["status"] == "fail"
+        assert (a["kind"], a["round"]) == (b["kind"], b["round"])
+
+    def test_arrow_cell_runs(self):
+        out = run_cell(
+            ChaosCell("arrow_ft", "path", 6),
+            FaultPlan(seed=3, drop_rate=0.1),
+            max_rounds=MAX_ROUNDS,
+        )
+        assert out == {"status": "ok"}
+
+
+class TestRandomPlan:
+    def test_default_plans_eventually_deliver(self):
+        import random
+
+        for seed in range(30):
+            rng = random.Random(f"test:{seed}")
+            plan = random_plan(rng, ChaosCell("flood_ft", "ring", 8))
+            assert plan.eventually_delivers()
+            assert not plan.is_empty()
+
+    def test_seeded_rng_reproduces_plan(self):
+        import random
+
+        cell = ChaosCell("flood_ft", "ring", 8)
+        p1 = random_plan(random.Random("x"), cell)
+        p2 = random_plan(random.Random("x"), cell)
+        assert p1 == p2
+
+    def test_allow_permanent_can_draw_permanent(self):
+        import random
+
+        cell = ChaosCell("flood_ft", "ring", 8)
+        found = any(
+            not random_plan(
+                random.Random(f"p:{s}"), cell, allow_permanent=True
+            ).eventually_delivers()
+            for s in range(40)
+        )
+        assert found
+
+
+class TestShrink:
+    def test_shrink_keeps_failure_kind(self):
+        failure = run_cell(KILLER_CELL, KILLER, max_rounds=MAX_ROUNDS)
+        noisy = FaultPlan(
+            seed=KILLER.seed,
+            drop_rate=0.2,
+            duplicate_rate=0.1,
+            crashes=KILLER.crashes + (NodeCrash(node=4, start=3, end=9),),
+            outages=(LinkOutage(u=0, v=1, start=2, end=8),),
+        )
+        out = run_cell(KILLER_CELL, noisy, max_rounds=MAX_ROUNDS)
+        assert out["status"] == "fail"
+        shrunk = shrink_plan(KILLER_CELL, noisy, out["kind"],
+                             max_rounds=MAX_ROUNDS)
+        # the irrelevant noise is gone, the killer crash survives
+        assert shrunk.drop_rate == 0.0
+        assert shrunk.duplicate_rate == 0.0
+        assert shrunk.outages == ()
+        assert len(shrunk.crashes) == 1
+        assert shrunk.crashes[0].end is None
+        final = run_cell(KILLER_CELL, shrunk, max_rounds=MAX_ROUNDS)
+        assert final["status"] == "fail" and final["kind"] == out["kind"]
+        assert failure["kind"] == out["kind"]
+
+    def test_shrink_is_idempotent(self):
+        out = run_cell(KILLER_CELL, KILLER, max_rounds=MAX_ROUNDS)
+        once = shrink_plan(KILLER_CELL, KILLER, out["kind"], max_rounds=MAX_ROUNDS)
+        twice = shrink_plan(KILLER_CELL, once, out["kind"], max_rounds=MAX_ROUNDS)
+        assert once == twice
+
+
+class TestArtifacts:
+    def test_save_load_replay_roundtrip(self, tmp_path):
+        failure = run_cell(KILLER_CELL, KILLER, max_rounds=MAX_ROUNDS)
+        path = tmp_path / "repro.json"
+        save_artifact(str(path), KILLER_CELL, KILLER, failure)
+        cell, plan, recorded = load_artifact(str(path))
+        assert cell == KILLER_CELL
+        assert plan == KILLER
+        reproduced, observed = replay_artifact(cell, plan, recorded,
+                                               max_rounds=MAX_ROUNDS)
+        assert reproduced
+        assert observed["round"] == failure["round"]
+
+    def test_artifact_is_plain_json(self, tmp_path):
+        failure = run_cell(KILLER_CELL, KILLER, max_rounds=MAX_ROUNDS)
+        path = tmp_path / "repro.json"
+        save_artifact(str(path), KILLER_CELL, KILLER, failure)
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro.chaos/1"
+        assert doc["cell"]["protocol"] == "flood_ft"
+        assert doc["plan"]["crashes"][0]["end"] is None
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "something/9", "cell": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            load_artifact(str(path))
+
+    def test_replay_detects_mismatch(self):
+        failure = dict(run_cell(KILLER_CELL, KILLER, max_rounds=MAX_ROUNDS))
+        failure["round"] = (failure["round"] or 0) + 1  # forged round
+        reproduced, _ = replay_artifact(KILLER_CELL, KILLER, failure,
+                                        max_rounds=MAX_ROUNDS)
+        assert not reproduced
+
+
+class TestChaosSearch:
+    CELLS = [
+        ChaosCell("flood_ft", "ring", 6),
+        ChaosCell("central_ft", "star", 6),
+        ChaosCell("arrow_ft", "path", 6),
+    ]
+
+    def test_eventually_delivering_sweep_is_clean(self):
+        report = chaos_search(self.CELLS, range(2), max_rounds=20_000)
+        assert report.runs == 6
+        assert report.clean
+
+    def test_sweep_is_reproducible(self):
+        a = chaos_search(self.CELLS[:1], range(2), max_rounds=20_000)
+        b = chaos_search(self.CELLS[:1], range(2), max_rounds=20_000)
+        assert a.runs == b.runs and a.clean == b.clean
+
+    def test_permanent_sweep_shrinks_findings(self):
+        # allow_permanent makes failures possible; scan seeds until one hits
+        cells = [ChaosCell("flood_ft", "ring", 5)]
+        report = chaos_search(cells, range(12), allow_permanent=True,
+                              max_rounds=MAX_ROUNDS)
+        assert report.findings, "no permanent crash drawn in 12 seeds"
+        f = report.findings[0]
+        assert f.shrunk_plan is not None
+        assert f.final_failure["status"] == "fail"
+        # the shrunk plan must still reproduce its recorded failure
+        reproduced, _ = replay_artifact(f.cell, f.final_plan, f.final_failure,
+                                        max_rounds=MAX_ROUNDS)
+        assert reproduced
+
+
+class TestChaosCli:
+    def test_ci_sweep_clean(self, capsys):
+        rc = main(["chaos", "--cells", "central_ft:star:6", "--seeds", "2",
+                   "--ci"])
+        assert rc == 0
+        assert "0 failing plan(s)" in capsys.readouterr().out
+
+    def test_artifacts_written_and_replayable(self, tmp_path, capsys):
+        # permanent crashes guarantee at least one finding across seeds
+        rc = main(["chaos", "--cells", "flood_ft:ring:5", "--seeds", "12",
+                   "--allow-permanent", "--max-rounds", "5000",
+                   "--out", str(tmp_path)])
+        assert rc == 0
+        arts = sorted(tmp_path.glob("chaos-*.json"))
+        assert arts, "no artifacts written"
+        capsys.readouterr()
+        rc = main(["chaos", "--replay", str(arts[0]),
+                   "--max-rounds", "5000"])
+        assert rc == 0
+        assert "REPRODUCED" in capsys.readouterr().out
+
+    def test_replay_missing_artifact_errors(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--replay", "/nonexistent/x.json"])
+
+    def test_bad_cell_spec_errors(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--cells", "bogus:ring:6", "--seeds", "1"])

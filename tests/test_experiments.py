@@ -84,4 +84,4 @@ def test_experiment_passes(exp_id):
 
 
 def test_registry_complete():
-    assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 22)}
+    assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 23)}

@@ -143,11 +143,12 @@ def _fault_case(tr: EventTrace) -> Any:
     and injection order on both paths."""
     from repro.faults import FaultPlan, NodeCrash, run_flood_counting_ft
 
-    # This exact plan is known to complete on the seeded path(5) instance
-    # (most crash-window plans make flood's retry wrapper give up — a
-    # pre-existing protocol limitation, equally on both engine paths).
+    # Any eventually-delivering plan completes now that the reliable
+    # wrapper coalesces crash-deferred wakeups and pauses its retry
+    # budget across scheduled windows; this one crashes the path's
+    # middle node so every cross-crash exchange exercises both fixes.
     plan = FaultPlan(
-        seed=13,
+        seed=0,
         drop_rate=0.2,
         duplicate_rate=0.1,
         max_consecutive_drops=2,

@@ -298,3 +298,73 @@ class TestReliableWrapper:
         assert a.stats == b.stats
         assert a.delays == b.delays
         assert a.order() == b.order()
+
+
+class TestCrashAwareRetry:
+    """The retry budget pauses while the peer is known to be down."""
+
+    def test_blocked_until_fixpoint_over_windows(self):
+        plan = FaultPlan(
+            crashes=(NodeCrash(2, 5, 10),),
+            outages=(LinkOutage(1, 2, 9, 14),),
+        )
+        # crash holds until 10, which lands inside the outage -> 14
+        assert plan.blocked_until(1, 2, 6) == 14
+        assert plan.blocked_until(2, 1, 6) == 6  # nothing active yet at 6
+        assert plan.blocked_until(2, 1, 10) == 14  # outage active at 10
+        assert plan.blocked_until(1, 2, 14) == 14  # already clear
+        assert plan.blocked_until(0, 3, 6) == 6  # untouched edge
+
+    def test_blocked_until_permanent_crash_is_none(self):
+        plan = FaultPlan(crashes=(NodeCrash(2, 5, None),))
+        assert plan.blocked_until(1, 2, 7) is None
+        assert plan.blocked_until(1, 2, 2) == 2  # before the crash starts
+
+    def test_budget_survives_long_crash_window(self):
+        """A crash window far longer than the retry budget must not
+        exhaust it: retries are deferred, not burned."""
+        plan = FaultPlan(crashes=(NodeCrash(0, 1, 120),))
+        policy = RetryPolicy(timeout=2, max_retries=3)  # budget ~ a few rounds
+        r = run_central_counting_ft(
+            star_graph(4), range(1, 4), plan, policy=policy, max_rounds=10_000
+        )
+        assert sorted(r.counts.values()) == [1, 2, 3]
+
+    def test_budget_pause_metric_counted(self):
+        from repro.obs import MetricsRegistry
+
+        plan = FaultPlan(crashes=(NodeCrash(0, 1, 60),))
+        reg = MetricsRegistry()
+        run_central_counting_ft(
+            star_graph(4), range(1, 4), plan,
+            policy=RetryPolicy(timeout=2, max_retries=4),
+            metrics=reg, max_rounds=10_000,
+        )
+        assert reg.to_dict()["counters"]["reliable.budget_pauses"] > 0
+
+    def test_permanent_crash_still_exhausts_budget(self):
+        """blocked_until -> None means no pause: the budget is charged and
+        gives up with the failing round attached."""
+        plan = FaultPlan(crashes=(NodeCrash(0, 0, None),))
+        with pytest.raises(RetryBudgetExceeded) as exc:
+            run_central_counting_ft(
+                star_graph(4), range(1, 4), plan,
+                policy=RetryPolicy(timeout=2, max_retries=3), max_rounds=10_000,
+            )
+        assert exc.value.round is not None
+        assert exc.value.round > 0
+
+    def test_crashes_during_flood_complete_without_pinning(self):
+        """The historical flood_ft failure mode: crash windows that
+        swallow the wrapped node's timer.  Now any seed works."""
+        from repro.faults import run_flood_counting_ft
+        from repro.topology import ring_graph
+
+        for seed in range(4):
+            plan = FaultPlan(
+                seed=seed, drop_rate=0.1,
+                crashes=(NodeCrash(seed % 6, 2, 9),),
+            )
+            r = run_flood_counting_ft(ring_graph(6), range(6), plan,
+                                      max_rounds=50_000)
+            assert sorted(r.counts.values()) == list(range(1, 7))

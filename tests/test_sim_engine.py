@@ -338,3 +338,59 @@ class TestGraphInputs:
         assert net.neighbors(2) == (0, 1, 3)
         assert net.neighbor_set(0) == frozenset({1, 2, 3})
         assert net.node_ids == [0, 1, 2, 3]
+
+
+class TestTraceSliceAndJson:
+    """EventTrace windows and the JSON round-trip (resilience evidence)."""
+
+    @staticmethod
+    def _trace() -> EventTrace:
+        from repro import run_central_counting
+        from repro.topology import star_graph
+
+        tr = EventTrace()
+        run_central_counting(star_graph(8), range(8), trace=tr)
+        return tr
+
+    def test_slice_bounds_inclusive(self):
+        tr = self._trace()
+        window = tr.slice(2, 4)
+        assert window.events
+        assert all(2 <= e.round <= 4 for e in window.events)
+        expected = [e for e in tr.events if 2 <= e.round <= 4]
+        assert window.events == expected
+
+    def test_slice_open_end(self):
+        tr = self._trace()
+        tail = tr.slice(3)
+        assert tail.events == [e for e in tr.events if e.round >= 3]
+
+    def test_slice_shares_frozen_events(self):
+        tr = self._trace()
+        window = tr.slice(0, tr.last_round())
+        assert window.events == tr.events
+        assert window.events[0] is tr.events[0]
+
+    def test_json_roundtrip_restores_equality(self):
+        tr = self._trace()
+        back = EventTrace.from_json(tr.to_json())
+        assert back.events == tr.events
+
+    def test_json_roundtrip_preserves_tuples(self):
+        from repro import path_spanning_tree, run_arrow
+        from repro.topology import path_graph
+
+        tr = EventTrace()
+        run_arrow(path_spanning_tree(path_graph(6)), range(6), trace=tr)
+        ops = [e.data["op"] for e in tr.of_kind("complete")]
+        assert ops and all(isinstance(op, tuple) for op in ops)
+        back = EventTrace.from_json(tr.to_json())
+        assert [e.data["op"] for e in back.of_kind("complete")] == ops
+
+    def test_json_roundtrip_nested_payloads(self):
+        tr = EventTrace()
+        tr.record("deliver", 3, src=0, dst=1,
+                  payload=(("op", 2), [("op", 3), 4], {"k": (5, 6)}))
+        back = EventTrace.from_json(tr.to_json())
+        assert back.events == tr.events
+        assert back.events[0].data["payload"][0] == ("op", 2)
